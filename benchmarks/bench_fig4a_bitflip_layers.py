@@ -1,0 +1,41 @@
+"""Fig. 4a — impact of bit-flips on individual LeNet layers.
+
+Paper protocol: binary LeNet on MNIST, one 40×10 crossbar per layer,
+bit-flip injection rate swept 0-30%, each point repeated with fresh
+seeds; series for conv1, conv2, dense0, dense1 and all layers combined.
+
+Expected shape (paper findings): accuracy degrades with rate; the
+combined curve is the worst; conv layers are more susceptible than dense
+layers; deeper mapped layers are more resilient.
+"""
+
+import pytest
+
+from repro.experiments import fig4
+
+from .conftest import print_sweep_series
+
+RATES = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+REPEATS = 5
+TEST_IMAGES = 400
+
+
+def test_fig4a_bitflip_layer_resilience(benchmark, lenet, mnist_test, results_dir):
+    test = mnist_test.subset(TEST_IMAGES)
+
+    def run():
+        return fig4.run_fig4a(lenet, test, rates=RATES, repeats=REPEATS)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = next(iter(results.values())).baseline
+    print_sweep_series(
+        "Fig. 4a: bit-flip rate vs accuracy (per layer)", results,
+        x_label="rate", results_dir=results_dir,
+        csv_name="fig4a_bitflip_layers.csv", baseline=baseline)
+
+    combined = results["combined"]
+    assert combined.accuracies.shape == (len(RATES), REPEATS)
+    # rate 0 must reproduce the fault-free baseline exactly
+    assert combined.mean()[0] == pytest.approx(baseline)
+    # heavy injection must visibly degrade the combined accuracy
+    assert combined.mean()[-1] < baseline - 0.05

@@ -1,0 +1,36 @@
+"""Fig. 4b — impact of stuck-at faults on individual LeNet layers.
+
+Same protocol as Fig. 4a with permanent stuck-at faults: a dead gate's
+output line rails at ±K independent of the data (DESIGN.md §3).
+
+Expected shape (paper findings): stuck-at faults hit harder than
+bit-flips at the same rate and affect all layers more uniformly.
+"""
+
+import pytest
+
+from repro.experiments import fig4
+
+from .conftest import print_sweep_series
+
+RATES = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+REPEATS = 5
+TEST_IMAGES = 400
+
+
+def test_fig4b_stuckat_layer_resilience(benchmark, lenet, mnist_test, results_dir):
+    test = mnist_test.subset(TEST_IMAGES)
+
+    def run():
+        return fig4.run_fig4b(lenet, test, rates=RATES, repeats=REPEATS)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = next(iter(results.values())).baseline
+    print_sweep_series(
+        "Fig. 4b: stuck-at rate vs accuracy (per layer)", results,
+        x_label="rate", results_dir=results_dir,
+        csv_name="fig4b_stuckat_layers.csv", baseline=baseline)
+
+    combined = results["combined"]
+    assert combined.mean()[0] == pytest.approx(baseline)
+    assert combined.mean()[-1] < baseline - 0.10

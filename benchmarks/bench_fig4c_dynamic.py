@@ -1,0 +1,33 @@
+"""Fig. 4c — dynamic faults: sensitization period vs accuracy.
+
+A dynamic fault fires every n-th XNOR operation; the paper observes the
+model's accuracy stabilizing back at its fault-free value by n ≈ 4.
+"""
+
+from repro.experiments import fig4
+
+from .conftest import print_sweep_series
+
+PERIODS = (0, 1, 2, 3, 4)
+RATE = 0.15
+REPEATS = 5
+TEST_IMAGES = 400
+
+
+def test_fig4c_dynamic_faults(benchmark, lenet, mnist_test, results_dir):
+    test = mnist_test.subset(TEST_IMAGES)
+
+    def run():
+        return fig4.run_fig4c(lenet, test, periods=PERIODS, rate=RATE,
+                              repeats=REPEATS)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_sweep_series(
+        f"Fig. 4c: dynamic fault period vs accuracy (rate {RATE:.0%})",
+        {"combined": result}, x_label="period", results_dir=results_dir,
+        csv_name="fig4c_dynamic.csv", baseline=result.baseline)
+
+    means = result.mean()
+    # static faults (period 0) hurt the most; long periods approach baseline
+    assert means[-1] > means[0]
+    assert means[-1] > result.baseline - 0.10

@@ -1,0 +1,36 @@
+"""Fig. 4d — impact of faulty crossbar columns, per layer (40×10 crossbar).
+
+Expected shape (paper findings): accuracy declines with the number of
+faulty columns, the deepest mapped layer (dense1) almost linearly, and
+columns hit substantially harder than rows (compare Fig. 4e) — a faulty
+column on a 40×10 crossbar covers 40 mask cells, a faulty row only 10,
+matching the column-wise parallelism of the XNOR mapping.
+"""
+
+import pytest
+
+from repro.experiments import fig4
+
+from .conftest import print_sweep_series
+
+COUNTS = (0, 1, 2, 3, 4)
+REPEATS = 5
+TEST_IMAGES = 400
+
+
+def test_fig4d_faulty_columns(benchmark, lenet, mnist_test, results_dir):
+    test = mnist_test.subset(TEST_IMAGES)
+
+    def run():
+        return fig4.run_fig4d(lenet, test, counts=COUNTS, repeats=REPEATS)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = next(iter(results.values())).baseline
+    print_sweep_series(
+        "Fig. 4d: faulty columns vs accuracy (per layer)", results,
+        x_label="columns", results_dir=results_dir,
+        csv_name="fig4d_columns.csv", baseline=baseline)
+
+    for label, result in results.items():
+        assert result.mean()[0] == pytest.approx(baseline), label
+        assert result.mean()[-1] < baseline, label

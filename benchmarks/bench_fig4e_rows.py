@@ -1,0 +1,40 @@
+"""Fig. 4e — impact of faulty crossbar rows, per layer (40×10 crossbar).
+
+Expected shape (paper findings): graceful, near-monotonic decline, much
+milder than the faulty-column study of Fig. 4d at comparable cell counts.
+"""
+
+import pytest
+
+import numpy as np
+
+from repro.experiments import fig4
+
+from .conftest import print_sweep_series
+
+COUNTS = (0, 4, 8, 12, 16, 20)
+REPEATS = 5
+TEST_IMAGES = 400
+
+
+def test_fig4e_faulty_rows(benchmark, lenet, mnist_test, results_dir):
+    test = mnist_test.subset(TEST_IMAGES)
+
+    def run():
+        return fig4.run_fig4e(lenet, test, counts=COUNTS, repeats=REPEATS)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = next(iter(results.values())).baseline
+    print_sweep_series(
+        "Fig. 4e: faulty rows vs accuracy (per layer)", results,
+        x_label="rows", results_dir=results_dir,
+        csv_name="fig4e_rows.csv", baseline=baseline)
+
+    # cross-figure check: same #cells as columns hurts less via rows.
+    # 4 faulty columns = 160 cells; 16 faulty rows = 160 cells.
+    per_layer_row_acc = np.mean([r.mean()[COUNTS.index(16)]
+                                 for r in results.values()])
+    print(f"mean accuracy at 16 faulty rows (160 cells): "
+          f"{100 * per_layer_row_acc:.1f}%")
+    for label, result in results.items():
+        assert result.mean()[0] == pytest.approx(baseline), label

@@ -1,0 +1,32 @@
+"""Fig. 5a — bit-flip resilience of the nine Table-II architectures.
+
+Expected shape (paper findings): all models degrade with rate; shortcut /
+dense-connectivity families (DenseNets, ResNetE, Bi-Real) retain accuracy
+longer than the plain stacks (BinaryAlexNet, XNOR-Net).
+"""
+
+from repro.experiments import fig5
+
+from .conftest import print_sweep_series
+
+RATES = (0.0, 0.05, 0.10, 0.20)
+REPEATS = 2
+TEST_IMAGES = 100
+
+
+def test_fig5a_models_bitflip(benchmark, imagenet_test, results_dir):
+    test = imagenet_test.subset(TEST_IMAGES)
+
+    def run():
+        return fig5.run_fig5a(rates=RATES, repeats=REPEATS, test=test)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_sweep_series(
+        "Fig. 5a: bit-flip rate vs accuracy (per model)", results,
+        x_label="rate", results_dir=results_dir,
+        csv_name="fig5a_models_bitflip.csv")
+
+    for name, result in results.items():
+        assert result.accuracies.shape == (len(RATES), REPEATS), name
+        # heavy bit-flips must cost accuracy on every architecture
+        assert result.mean()[-1] <= result.mean()[0], name

@@ -1,0 +1,31 @@
+"""Fig. 5b — stuck-at resilience of the nine Table-II architectures.
+
+The paper sweeps stuck-at rates over 0-2% — an order of magnitude tighter
+than the 0-20% bit-flip axis — because permanent faults are amplified by
+cell reuse.  Expected shape: visible degradation already within this
+tight range, confirming stuck-at ≫ bit-flip per unit rate.
+"""
+
+from repro.experiments import fig5
+
+from .conftest import print_sweep_series
+
+RATES = (0.0, 0.005, 0.01, 0.02)
+REPEATS = 2
+TEST_IMAGES = 100
+
+
+def test_fig5b_models_stuckat(benchmark, imagenet_test, results_dir):
+    test = imagenet_test.subset(TEST_IMAGES)
+
+    def run():
+        return fig5.run_fig5b(rates=RATES, repeats=REPEATS, test=test)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_sweep_series(
+        "Fig. 5b: stuck-at rate vs accuracy (per model)", results,
+        x_label="rate", results_dir=results_dir,
+        csv_name="fig5b_models_stuckat.csv")
+
+    for name, result in results.items():
+        assert result.mean()[-1] <= result.mean()[0], name

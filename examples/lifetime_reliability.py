@@ -1,0 +1,61 @@
+"""Accuracy over a device lifetime — from endurance physics to BNN failure.
+
+The paper's conclusion calls for "strategies able to monitor and/or
+mitigate applications' degradation during their lifetime".  This example
+closes that loop quantitatively: a Weibull endurance model turns
+cumulative switching cycles into stuck-cell rates, FLIM injects the
+corresponding faults, and the output is the accuracy-over-age curve an
+operator would use to schedule replacement.
+
+Run:  python examples/lifetime_reliability.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_plot
+from repro.core import FaultCampaign, FaultSpec
+from repro.experiments import get_mnist, trained_lenet
+from repro.lim import EnduranceModel, lifetime_fault_rates
+
+AGES = [0.0, 3e7, 6e7, 1e8, 1.5e8, 2e8]
+REPEATS = 3
+TEST_IMAGES = 300
+
+
+def main():
+    model = trained_lenet()
+    _, test = get_mnist()
+    test = test.subset(TEST_IMAGES)
+
+    endurance = EnduranceModel(mean_cycles=3e8, shape=2.0,
+                               upset_rate_per_cycle=1e-12)
+    # a crossbar cell switches ~11 times per XNOR op (IMPLY program);
+    # reuse makes cells cycle thousands of times per inference
+    cycles_per_inference = 11 * 500
+    points = lifetime_fault_rates(cycles_per_inference, AGES, endurance)
+
+    campaign = FaultCampaign(model, test.x, test.y, rows=40, cols=10)
+    print(f"fault-free accuracy: {campaign.baseline_accuracy():.1%}\n")
+    print(f"{'age (cycles)':>14} {'stuck rate':>11} {'accuracy':>9}")
+
+    xs, ys = [], []
+    for point in points:
+        result = campaign.run(
+            lambda _x, p=point: FaultSpec.stuck_at(min(p.stuck_rate, 1.0)),
+            xs=[0], repeats=REPEATS)
+        accuracy = result.mean()[0]
+        xs.append(point.cycles / 1e8)
+        ys.append(100 * accuracy)
+        print(f"{point.cycles:14.2g} {point.stuck_rate:11.4%} {accuracy:9.1%}")
+
+    print()
+    print(ascii_plot({"accuracy": (xs, ys)},
+                     title="BNN accuracy over device lifetime",
+                     x_label="age (1e8 cycles)", y_label="accuracy %",
+                     y_range=(0, 100)))
+    print("\nreading: replace (or remap, see fault_mitigation.py) the part "
+          "before the knee of this curve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Model-resilience comparison across BNN architectures — Fig. 5 in small.
+
+Compares three architecture families under bit-flip and stuck-at faults:
+a plain stack (binary_alexnet), a residual network (binary_resnet_e18)
+and a densely connected network (binary_densenet28).
+
+Run:  python examples/model_resilience_zoo.py
+"""
+
+from repro.analysis import ascii_plot
+from repro.core import FaultCampaign, FaultSpec
+from repro.experiments import get_imagenet, trained_zoo_model
+
+MODELS = ("binary_alexnet", "binary_resnet_e18", "binary_densenet28")
+BITFLIP_RATES = (0.0, 0.05, 0.10, 0.20)
+STUCK_RATES = (0.0, 0.005, 0.01, 0.02)
+REPEATS = 3
+TEST_IMAGES = 200
+
+
+def sweep(model_name, spec_factory, xs, test):
+    model = trained_zoo_model(model_name)
+    campaign = FaultCampaign(model, test.x, test.y, rows=40, cols=10)
+    return campaign.run(spec_factory, xs, repeats=REPEATS, label=model_name)
+
+
+def main():
+    _, test = get_imagenet()
+    test = test.subset(TEST_IMAGES)
+
+    print("bit-flips 0-20% (Fig. 5a style):")
+    series = {}
+    for name in MODELS:
+        result = sweep(name, FaultSpec.bitflip, list(BITFLIP_RATES), test)
+        series[name] = (result.xs, [100 * m for m in result.mean()])
+        print(f"  {name:20s} " + " ".join(
+            f"{x:.0%}:{100 * m:4.1f}%" for x, m in zip(result.xs, result.mean())))
+    print(ascii_plot(series, title="bit-flip resilience",
+                     x_label="rate", y_label="accuracy %", y_range=(0, 100)))
+
+    print("\nstuck-at 0-2% (Fig. 5b style — note the 10x tighter axis):")
+    series = {}
+    for name in MODELS:
+        result = sweep(name, FaultSpec.stuck_at, list(STUCK_RATES), test)
+        series[name] = (result.xs, [100 * m for m in result.mean()])
+        print(f"  {name:20s} " + " ".join(
+            f"{x:.2%}:{100 * m:4.1f}%" for x, m in zip(result.xs, result.mean())))
+    print(ascii_plot(series, title="stuck-at resilience",
+                     x_label="rate", y_label="accuracy %", y_range=(0, 100)))
+
+    print("\nkey observations (paper §IV): permanent stuck-at faults "
+          "compromise reliability at rates an order of magnitude below "
+          "transient bit-flips; architecture families differ in how "
+          "gracefully they degrade.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Accuracy and degradation metrics for fault-injection studies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy", "degradation", "critical_x",
+           "accuracy_drop_curve"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of logits against integer labels."""
+    return float((logits.argmax(axis=-1) == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label ranks in the top-k logits."""
+    top = np.argsort(logits, axis=-1)[:, -k:]
+    return float((top == labels[:, None]).any(axis=1).mean())
+
+
+def degradation(baseline: float, faulty: float) -> float:
+    """Absolute accuracy loss caused by the injected faults."""
+    return baseline - faulty
+
+
+def accuracy_drop_curve(xs, means, baseline: float) -> list[tuple[float, float]]:
+    """(x, degradation) pairs of a sweep."""
+    return [(float(x), degradation(baseline, float(m))) for x, m in zip(xs, means)]
+
+
+def critical_x(xs, means, threshold: float) -> float | None:
+    """First sweep value at which mean accuracy falls below ``threshold``.
+
+    Linear interpolation between the bracketing sweep points; ``None`` if
+    the curve never crosses.  This is the "tolerable fault level" the
+    paper's conclusion refers to.
+    """
+    xs = np.asarray(xs, dtype=float)
+    means = np.asarray(means, dtype=float)
+    below = means < threshold
+    if not below.any():
+        return None
+    first = int(np.argmax(below))
+    if first == 0:
+        return float(xs[0])
+    x0, x1 = xs[first - 1], xs[first]
+    y0, y1 = means[first - 1], means[first]
+    if y0 == y1:
+        return float(x1)
+    t = (y0 - threshold) / (y0 - y1)
+    return float(x0 + t * (x1 - x0))

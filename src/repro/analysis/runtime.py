@@ -1,0 +1,73 @@
+"""Runtime measurement and extrapolation for the Fig. 4f comparison.
+
+The paper measures FLIM and vanilla Larq on fifty full passes of the
+10,000-image MNIST test set, but "estimate[s] the total run time of
+X-Fault based on five images" — the device-level simulator is too slow to
+run in full.  :func:`extrapolate` reproduces that protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["RuntimeSample", "measure", "extrapolate", "speedup_table"]
+
+
+@dataclass(frozen=True)
+class RuntimeSample:
+    """One platform's runtime for a (possibly extrapolated) workload."""
+
+    platform: str
+    seconds: float
+    images: int
+    extrapolated_from: int | None = None
+
+    @property
+    def seconds_per_image(self) -> float:
+        return self.seconds / self.images
+
+    def describe(self) -> str:
+        note = ("" if self.extrapolated_from is None
+                else f" (extrapolated from {self.extrapolated_from} images)")
+        return (f"{self.platform}: {self.seconds:.4g}s for {self.images} images"
+                f" = {self.seconds_per_image * 1e3:.4g} ms/image{note}")
+
+
+def measure(platform: str, fn, images: int, repeat: int = 1) -> RuntimeSample:
+    """Time ``fn()`` (which processes ``images`` images) ``repeat`` times.
+
+    The best (minimum) wall-clock time is reported, the standard defence
+    against scheduler noise on a busy machine.
+    """
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return RuntimeSample(platform, best, images)
+
+
+def extrapolate(sample: RuntimeSample, total_images: int) -> RuntimeSample:
+    """Scale a small-sample measurement to the full workload (paper's §IV)."""
+    factor = total_images / sample.images
+    return RuntimeSample(
+        platform=sample.platform,
+        seconds=sample.seconds * factor,
+        images=total_images,
+        extrapolated_from=sample.images)
+
+
+def speedup_table(samples: list[RuntimeSample],
+                  reference: str) -> list[tuple[str, float, float]]:
+    """(platform, seconds, speedup-vs-reference) rows, like Fig. 4f.
+
+    ``reference`` names the slow baseline (X-Fault in the paper); its own
+    speedup is 1.
+    """
+    by_name = {sample.platform: sample for sample in samples}
+    if reference not in by_name:
+        raise KeyError(f"reference platform {reference!r} not among samples")
+    base = by_name[reference].seconds
+    return [(sample.platform, sample.seconds, base / sample.seconds)
+            for sample in samples]

@@ -1,0 +1,16 @@
+"""Binarized-network building blocks — the Larq substitute.
+
+Quantized layers (:class:`QuantConv2D`, :class:`QuantDense`) expose the
+fault hooks the FLIM injector attaches to, plus quantizers and bit-exact
+XNOR/popcount kernels.
+"""
+
+from . import bitops, quantizers
+from .layers import QuantConv2D, QuantDense, QuantLayer
+from .quantizers import ApproxSign, MagnitudeAwareSign, Quantizer, SteSign
+
+__all__ = [
+    "bitops", "quantizers",
+    "QuantLayer", "QuantConv2D", "QuantDense",
+    "Quantizer", "SteSign", "ApproxSign", "MagnitudeAwareSign",
+]

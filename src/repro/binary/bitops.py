@@ -1,0 +1,81 @@
+"""Bit-exact XNOR/popcount kernels on packed uint64 words.
+
+These kernels compute the same binary GEMM as the float path but in the
+integer domain the hardware actually operates in: bipolar {-1, +1} values
+are packed 64-per-word (+1 -> bit 1), products become XNOR, and the
+accumulation becomes ``K - 2 * popcount(xor)``.  They back the ablation
+benchmark comparing packed-integer vs float-GEMM execution and serve as an
+independent oracle for the binary layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_bipolar",
+    "unpack_bipolar",
+    "xnor_accumulate",
+    "binary_matmul",
+]
+
+_WORD = 64
+
+
+def pack_bipolar(x: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack a bipolar {-1,+1} array along its last axis into uint64 words.
+
+    Returns ``(packed, original_length)``.  +1 maps to bit 1, -1 to bit 0;
+    trailing pad bits are 0 and cancelled out by the caller using the
+    original length.
+    """
+    if not np.all(np.abs(x) == 1):
+        raise ValueError("pack_bipolar expects values in {-1, +1}")
+    bits = (x > 0).astype(np.uint8)
+    length = bits.shape[-1]
+    pad = (-length) % _WORD
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1)
+    words = bits.reshape(bits.shape[:-1] + (-1, _WORD))
+    weights = (np.uint64(1) << np.arange(_WORD, dtype=np.uint64))
+    packed = (words.astype(np.uint64) * weights).sum(axis=-1, dtype=np.uint64)
+    return packed, length
+
+
+def unpack_bipolar(packed: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_bipolar`."""
+    shifts = np.arange(_WORD, dtype=np.uint64)
+    bits = (packed[..., :, None] >> shifts) & np.uint64(1)
+    flat = bits.reshape(packed.shape[:-1] + (-1,))[..., :length]
+    return np.where(flat == 1, 1.0, -1.0).astype(np.float32)
+
+
+def xnor_accumulate(a_packed: np.ndarray, b_packed: np.ndarray, length: int) -> np.ndarray:
+    """Sum of elementwise XNOR products of two packed bipolar vectors.
+
+    Equivalent to ``(a * b).sum(-1)`` for the unpacked ±1 vectors: each
+    matching bit contributes +1, each mismatch -1, so the sum equals
+    ``length - 2 * popcount(a ^ b)`` once pad bits (equal in both) are
+    discounted.
+    """
+    xor = np.bitwise_xor(a_packed, b_packed)
+    mismatches = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
+    pad = (-length) % _WORD
+    del pad  # pad bits are 0 in both operands, so they never mismatch
+    return (length - 2 * mismatches).astype(np.int64)
+
+
+def binary_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bit-exact ``a @ b`` for bipolar matrices via packed XNOR/popcount.
+
+    ``a`` is ``(m, k)``, ``b`` is ``(k, n)``; the result is int64 ``(m, n)``.
+    """
+    a_packed, length = pack_bipolar(a)
+    b_packed, _ = pack_bipolar(np.ascontiguousarray(b.T))
+    out = np.empty((a.shape[0], b.shape[1]), dtype=np.int64)
+    for row in range(a.shape[0]):
+        xor = np.bitwise_xor(a_packed[row][None, :], b_packed)
+        mismatches = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
+        out[row] = length - 2 * mismatches
+    return out

@@ -1,0 +1,269 @@
+"""Quantized layers — the Larq-equivalent QuantConv2D / QuantDense.
+
+These are the layers the paper maps onto memristive crossbars.  Each layer
+
+* binarizes inputs and/or kernels through pluggable quantizers,
+* computes the fault-free feature map,
+* then runs the attached *fault hooks* — exactly the injection point the
+  paper patched into Larq ("the original convolution method has been
+  overwritten ... the fault masks are applied by performing another XNOR
+  operation", §III).
+
+Two hooks exist, matching the two physical fault granularities described in
+DESIGN.md §3:
+
+``kernel_fault_hook(binary_kernel, layer) -> binary_kernel``
+    Applied to the binarized kernel before the GEMM.  Stuck-at faults on
+    weight cells live here: the corruption persists for every XNOR that
+    reuses the cell.
+
+``output_fault_hook(feature_map, layer) -> feature_map``
+    Applied to the computed feature map.  Transient bit-flips, dynamic
+    faults and structural row/column faults live here.
+
+``product_fault_hook(out_flat, cols, qw, layer) -> out_flat``
+    Device-true reference path: receives the flat GEMM result together
+    with the bipolar im2col matrix and kernel so individual XNOR products
+    can be corrupted.  Slower (forces the explicit GEMM formulation);
+    used for verification and ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import initializers, ops
+from ..nn.layers import Layer
+from . import quantizers
+
+__all__ = ["QuantLayer", "QuantConv2D", "QuantDense"]
+
+
+class QuantLayer(Layer):
+    """Shared machinery of quantized layers: quantizers + fault hooks."""
+
+    def __init__(self, input_quantizer=None, kernel_quantizer="ste_sign",
+                 name: str | None = None):
+        super().__init__(name)
+        self.input_quantizer = quantizers.get(input_quantizer)
+        self.kernel_quantizer = quantizers.get(kernel_quantizer)
+        self.kernel_fault_hook = None
+        self.output_fault_hook = None
+        self.product_fault_hook = None
+        self._built_input_shape: tuple[int, ...] | None = None
+
+    # -- fault-injection plumbing ---------------------------------------
+    def clear_fault_hooks(self) -> None:
+        self.kernel_fault_hook = None
+        self.output_fault_hook = None
+        self.product_fault_hook = None
+
+    def _apply_kernel_hook(self, qkernel: np.ndarray) -> np.ndarray:
+        if self.kernel_fault_hook is None:
+            return qkernel
+        return self.kernel_fault_hook(qkernel, self)
+
+    def _apply_output_hook(self, out: np.ndarray) -> np.ndarray:
+        if self.output_fault_hook is None:
+            return out
+        return self.output_fault_hook(out, self)
+
+    def _quantize_kernel(self) -> np.ndarray:
+        kernel = self.params["kernel"]
+        if self.kernel_quantizer is None:
+            return self._apply_kernel_hook(kernel)
+        if isinstance(self.kernel_quantizer, quantizers.MagnitudeAwareSign):
+            # Only the sign part lives on the crossbar; faults corrupt it,
+            # the CMOS gain is re-applied afterwards.
+            binary, gain = self.kernel_quantizer.split(kernel)
+            return self._apply_kernel_hook(binary) * gain
+        return self._apply_kernel_hook(self.kernel_quantizer.quantize(kernel))
+
+    # -- LIM geometry ----------------------------------------------------
+    @property
+    def is_mapped(self) -> bool:
+        """Whether this layer's arithmetic runs on the crossbar.
+
+        Following the paper (and X-Fault's conservative approach), a layer
+        is mapped only when both operands are binary so every
+        multiply-accumulate term is a genuine XNOR; anything non-binary
+        (e.g. a first conv fed with grey-scale pixels) stays in CMOS.
+        """
+        return self.kernel_quantizer is not None and self.input_quantizer is not None
+
+    def reduction_length(self) -> int:
+        """Number of XNOR products accumulated per output element (K)."""
+        raise NotImplementedError
+
+    def outputs_per_image(self) -> int:
+        """Number of output elements per input image (O)."""
+        raise NotImplementedError
+
+    @property
+    def output_channels(self) -> int:
+        """Output-channel count (F) — the crossbar's column dimension."""
+        raise NotImplementedError
+
+    def positions_per_image(self) -> int:
+        """Streamed input positions per image (P = O / F)."""
+        return self.outputs_per_image() // self.output_channels
+
+    def xnor_ops_per_image(self) -> int:
+        """Total XNOR operations per image: N = O * K."""
+        return self.outputs_per_image() * self.reduction_length()
+
+    # -- Table II bookkeeping ---------------------------------------------
+    def binary_param_count(self) -> int:
+        return int(self.params["kernel"].size) if self.kernel_quantizer else 0
+
+    def full_precision_param_count(self) -> int:
+        total = sum(int(p.size) for p in self.params.values())
+        return total - self.binary_param_count()
+
+
+class QuantConv2D(QuantLayer):
+    """Binarized 2-D convolution (NHWC, kernel ``(kh, kw, c_in, c_out)``)."""
+
+    def __init__(self, filters: int, kernel_size: int, stride: int = 1,
+                 padding: str = "valid", use_bias: bool = False,
+                 input_quantizer=None, kernel_quantizer="ste_sign",
+                 kernel_initializer="glorot_uniform", name: str | None = None):
+        super().__init__(input_quantizer, kernel_quantizer, name)
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.use_bias = use_bias
+        self.kernel_initializer = initializers.get(kernel_initializer)
+        self._cache: tuple | None = None
+
+    def build(self, input_shape, rng):
+        _, _, c_in = input_shape
+        shape = (self.kernel_size, self.kernel_size, c_in, self.filters)
+        self.params["kernel"] = self.kernel_initializer(shape, rng)
+        self.grads["kernel"] = np.zeros_like(self.params["kernel"])
+        if self.use_bias:
+            self.params["bias"] = np.zeros(self.filters, dtype=np.float32)
+            self.grads["bias"] = np.zeros_like(self.params["bias"])
+        self._built_input_shape = tuple(input_shape)
+        super(QuantLayer, self).build(input_shape, rng)
+
+    def compute_output_shape(self, input_shape):
+        h, w, _ = input_shape
+        k, s = self.kernel_size, self.stride
+        if self.padding == "same":
+            oh, ow = -(-h // s), -(-w // s)
+        else:
+            oh = ops.conv_output_size(h, k, s, 0)
+            ow = ops.conv_output_size(w, k, s, 0)
+        return (oh, ow, self.filters)
+
+    def reduction_length(self):
+        _, _, c_in = self._built_input_shape
+        return self.kernel_size * self.kernel_size * c_in
+
+    def outputs_per_image(self):
+        oh, ow, c_out = self.compute_output_shape(self._built_input_shape)
+        return oh * ow * c_out
+
+    @property
+    def output_channels(self):
+        return self.filters
+
+    def forward(self, x, training=False):
+        qx = self.input_quantizer.quantize(x) if self.input_quantizer else x
+        qkernel = self._quantize_kernel()
+        if self.product_fault_hook is None:
+            out = ops.conv2d(qx, qkernel, self.stride, self.padding)
+        else:
+            cols, (oh, ow) = ops.im2col(
+                qx, self.kernel_size, self.kernel_size, self.stride, self.padding)
+            qw = qkernel.reshape(-1, self.filters)
+            flat = cols @ qw
+            flat = self.product_fault_hook(flat, cols, qw, self)
+            out = flat.reshape(x.shape[0], oh, ow, self.filters)
+        out = self._apply_output_hook(out)
+        if self.use_bias:
+            out = out + self.params["bias"]
+        if training:
+            self._cache = (x, qx, qkernel)
+        return out
+
+    def backward(self, dout):
+        x, qx, qkernel = self._cache
+        if self.use_bias:
+            self.grads["bias"][...] = dout.sum(axis=(0, 1, 2))
+        dqx, dqkernel = ops.conv2d_backward(
+            dout, qx, qkernel, self.stride, self.padding)
+        if self.kernel_quantizer is not None:
+            self.grads["kernel"][...] = self.kernel_quantizer.grad(
+                self.params["kernel"], dqkernel)
+        else:
+            self.grads["kernel"][...] = dqkernel
+        if self.input_quantizer is not None:
+            return self.input_quantizer.grad(x, dqx)
+        return dqx
+
+
+class QuantDense(QuantLayer):
+    """Binarized fully connected layer."""
+
+    def __init__(self, units: int, use_bias: bool = False,
+                 input_quantizer=None, kernel_quantizer="ste_sign",
+                 kernel_initializer="glorot_uniform", name: str | None = None):
+        super().__init__(input_quantizer, kernel_quantizer, name)
+        self.units = units
+        self.use_bias = use_bias
+        self.kernel_initializer = initializers.get(kernel_initializer)
+        self._cache: tuple | None = None
+
+    def build(self, input_shape, rng):
+        (features,) = input_shape
+        self.params["kernel"] = self.kernel_initializer((features, self.units), rng)
+        self.grads["kernel"] = np.zeros_like(self.params["kernel"])
+        if self.use_bias:
+            self.params["bias"] = np.zeros(self.units, dtype=np.float32)
+            self.grads["bias"] = np.zeros_like(self.params["bias"])
+        self._built_input_shape = tuple(input_shape)
+        super(QuantLayer, self).build(input_shape, rng)
+
+    def compute_output_shape(self, input_shape):
+        return (self.units,)
+
+    def reduction_length(self):
+        return self._built_input_shape[0]
+
+    def outputs_per_image(self):
+        return self.units
+
+    @property
+    def output_channels(self):
+        return self.units
+
+    def forward(self, x, training=False):
+        qx = self.input_quantizer.quantize(x) if self.input_quantizer else x
+        qkernel = self._quantize_kernel()
+        out = qx @ qkernel
+        if self.product_fault_hook is not None:
+            out = self.product_fault_hook(out, qx, qkernel, self)
+        out = self._apply_output_hook(out)
+        if self.use_bias:
+            out = out + self.params["bias"]
+        if training:
+            self._cache = (x, qx, qkernel)
+        return out
+
+    def backward(self, dout):
+        x, qx, qkernel = self._cache
+        if self.use_bias:
+            self.grads["bias"][...] = dout.sum(axis=0)
+        dqkernel = qx.T @ dout
+        dqx = dout @ qkernel.T
+        if self.kernel_quantizer is not None:
+            self.grads["kernel"][...] = self.kernel_quantizer.grad(
+                self.params["kernel"], dqkernel)
+        else:
+            self.grads["kernel"][...] = dqkernel
+        if self.input_quantizer is not None:
+            return self.input_quantizer.grad(x, dqx)
+        return dqx

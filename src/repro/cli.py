@@ -1,0 +1,201 @@
+"""Command-line interface to the FLIM platform.
+
+Usage::
+
+    python -m repro <command> [options]
+
+Commands
+--------
+``report``        mapping report of a model (ops per crossbar, reuse)
+``vectors``       generate an annotated fault-vector file for a model
+``inspect``       print the contents of a fault-vector file
+``sweep``         accuracy-vs-rate sweep on the trained LeNet
+``table1``        the adopted experimental setup (paper Table I)
+``table2``        model characteristics (paper Table II)
+``cost``          per-layer LIM energy/latency estimate of a model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import markdown_table
+from .core import (FaultGenerator, FaultSpec, FaultType, load_fault_vectors)
+from .models import build_lenet, build_model, model_names
+
+__all__ = ["main"]
+
+
+def _resolve_model(name: str, seed: int = 0):
+    if name == "lenet":
+        return build_lenet(seed=seed)
+    return build_model(name, seed=seed)
+
+
+def _cmd_report(args) -> int:
+    model = _resolve_model(args.model)
+    generator = FaultGenerator(FaultSpec.bitflip(0.0),
+                               rows=args.rows, cols=args.cols)
+    entries = generator.report(model)
+    header = ["layer", "crossbar", "parallel ops", "XNOR ops/image", "reuse"]
+    rows = [(e["layer"], f"{e['crossbar'][0]}x{e['crossbar'][1]}",
+             e["parallel_xnor_ops"], e["xnor_ops_per_image"], e["cell_reuse"])
+            for e in entries]
+    print(markdown_table(header, rows))
+    return 0
+
+
+def _build_spec(args) -> FaultSpec:
+    kind = FaultType(args.fault)
+    if kind == FaultType.BITFLIP:
+        return FaultSpec.bitflip(args.rate, period=args.period)
+    if kind == FaultType.STUCK_AT:
+        return FaultSpec.stuck_at(args.rate)
+    if kind == FaultType.FAULTY_ROWS:
+        return FaultSpec.faulty_rows(args.count)
+    return FaultSpec.faulty_columns(args.count)
+
+
+def _cmd_vectors(args) -> int:
+    model = _resolve_model(args.model)
+    generator = FaultGenerator(_build_spec(args), rows=args.rows,
+                               cols=args.cols, seed=args.seed)
+    plan = generator.generate(model)
+    generator.extract_vectors(plan, args.output)
+    total = sum(masks.fault_counts()["bitflips"] + masks.fault_counts()["stuck"]
+                for masks in plan.values())
+    print(f"wrote {len(plan)} layer records ({total} faulty cells) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    plan = load_fault_vectors(args.path)
+    header = ["layer", "crossbar", "bitflips", "period", "stuck",
+              "flip semantics", "stuck semantics"]
+    rows = []
+    for name, masks in plan.items():
+        counts = masks.fault_counts()
+        rows.append((name, f"{masks.rows}x{masks.cols}", counts["bitflips"],
+                     masks.flip_period, counts["stuck"],
+                     masks.flip_semantics, masks.stuck_semantics))
+    print(markdown_table(header, rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .core import FaultCampaign
+    from .experiments import get_mnist, trained_lenet
+
+    model = trained_lenet()
+    _, test = get_mnist()
+    test = test.subset(args.images)
+    campaign = FaultCampaign(model, test.x, test.y,
+                             rows=args.rows, cols=args.cols)
+    spec_factory = (FaultSpec.bitflip if args.fault == "bitflip"
+                    else FaultSpec.stuck_at)
+    result = campaign.run(spec_factory, xs=args.rates, repeats=args.repeats,
+                          label=args.fault)
+    print(f"baseline: {100 * result.baseline:.1f}%")
+    rows = [(f"{x:g}", f"{100 * m:.1f}", f"{100 * s:.1f}")
+            for x, m, s in result.as_rows()]
+    print(markdown_table(["rate", "accuracy %", "std %"], rows))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .experiments.tables import table1_setup
+    for key, value in table1_setup():
+        print(f"{key:22s} {value}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .experiments.tables import table2_model_stats
+    rows = table2_model_stats(measure_accuracy=not args.no_accuracy)
+    header = ["model", "top1%", "size MB", "params", "MACs", "bin%"]
+    print(markdown_table(header, [
+        (r["model"], r["top1_pct"], r["size_mb"], r["params"], r["macs"],
+         r["binarized_pct"]) for r in rows]))
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    from .lim import estimate_model_cost
+    model = _resolve_model(args.model)
+    costs = estimate_model_cost(model, rows=args.rows, cols=args.cols,
+                                gate_family=args.gate)
+    header = ["layer", "XNOR ops", "driver steps", "energy nJ", "latency us"]
+    print(markdown_table(header, [c.row() for c in costs]))
+    total_e = sum(c.energy_nj for c in costs)
+    total_l = sum(c.latency_us for c in costs)
+    print(f"\ntotal per image ({args.gate}): {total_e:.2f} nJ, "
+          f"{total_l:.2f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FLIM fault-injection platform (DAC'23 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    model_choices = ["lenet"] + model_names()
+
+    p_report = sub.add_parser("report", help="crossbar mapping report")
+    p_report.add_argument("--model", default="lenet", choices=model_choices)
+    p_report.add_argument("--rows", type=int, default=40)
+    p_report.add_argument("--cols", type=int, default=10)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_vec = sub.add_parser("vectors", help="generate a fault-vector file")
+    p_vec.add_argument("output")
+    p_vec.add_argument("--model", default="lenet", choices=model_choices)
+    p_vec.add_argument("--fault", default="bitflip",
+                       choices=[k.value for k in FaultType])
+    p_vec.add_argument("--rate", type=float, default=0.1)
+    p_vec.add_argument("--count", type=int, default=1)
+    p_vec.add_argument("--period", type=int, default=0)
+    p_vec.add_argument("--rows", type=int, default=40)
+    p_vec.add_argument("--cols", type=int, default=10)
+    p_vec.add_argument("--seed", type=int, default=0)
+    p_vec.set_defaults(func=_cmd_vectors)
+
+    p_ins = sub.add_parser("inspect", help="print a fault-vector file")
+    p_ins.add_argument("path")
+    p_ins.set_defaults(func=_cmd_inspect)
+
+    p_sweep = sub.add_parser("sweep", help="accuracy sweep on trained LeNet")
+    p_sweep.add_argument("--fault", default="bitflip",
+                         choices=["bitflip", "stuck_at"])
+    p_sweep.add_argument("--rates", type=float, nargs="+",
+                         default=[0.0, 0.1, 0.2, 0.3])
+    p_sweep.add_argument("--repeats", type=int, default=5)
+    p_sweep.add_argument("--images", type=int, default=300)
+    p_sweep.add_argument("--rows", type=int, default=40)
+    p_sweep.add_argument("--cols", type=int, default=10)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_t1 = sub.add_parser("table1", help="experimental setup (Table I)")
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_t2 = sub.add_parser("table2", help="model characteristics (Table II)")
+    p_t2.add_argument("--no-accuracy", action="store_true",
+                      help="skip the (slow) accuracy measurement")
+    p_t2.set_defaults(func=_cmd_table2)
+
+    p_cost = sub.add_parser("cost", help="LIM energy/latency estimate")
+    p_cost.add_argument("--model", default="lenet", choices=model_choices)
+    p_cost.add_argument("--gate", default="imply", choices=["imply", "magic"])
+    p_cost.add_argument("--rows", type=int, default=40)
+    p_cost.add_argument("--cols", type=int, default=10)
+    p_cost.set_defaults(func=_cmd_cost)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

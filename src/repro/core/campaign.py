@@ -1,0 +1,106 @@
+"""Fault-injection campaigns: sweeps × repetitions × seeds.
+
+"To mitigate the impact of randomly placing the faults on the crossbar, we
+performed every experiment hundred times which reinitialized the random
+generator with a new seed value." — §IV.  A campaign sweeps one
+experimental knob (injection rate, dynamic period, faulty-line count),
+repeating each point with fresh seeds, and returns the accuracy samples
+for aggregation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.model import Sequential
+from .faults import FaultSpec
+from .generator import FaultGenerator
+from .injector import FaultInjector
+
+__all__ = ["SweepResult", "FaultCampaign"]
+
+
+@dataclass
+class SweepResult:
+    """Accuracy samples of one sweep.
+
+    ``accuracies[i, j]`` is the accuracy at sweep point ``xs[i]`` in
+    repetition ``j``.
+    """
+
+    label: str
+    xs: list[float]
+    accuracies: np.ndarray
+    baseline: float = float("nan")
+    meta: dict = field(default_factory=dict)
+
+    def mean(self) -> np.ndarray:
+        return self.accuracies.mean(axis=1)
+
+    def std(self) -> np.ndarray:
+        return self.accuracies.std(axis=1)
+
+    def min(self) -> np.ndarray:
+        return self.accuracies.min(axis=1)
+
+    def max(self) -> np.ndarray:
+        return self.accuracies.max(axis=1)
+
+    def as_rows(self) -> list[tuple[float, float, float]]:
+        """(x, mean, std) rows — the series a paper figure plots."""
+        return [(x, float(m), float(s))
+                for x, m, s in zip(self.xs, self.mean(), self.std())]
+
+    def __repr__(self):
+        points = ", ".join(f"{x:g}:{m:.3f}" for x, m in zip(self.xs, self.mean()))
+        return f"<SweepResult {self.label} [{points}]>"
+
+
+class FaultCampaign:
+    """Runs accuracy-vs-fault sweeps on a fixed model and dataset."""
+
+    def __init__(self, model: Sequential, x_test: np.ndarray, y_test: np.ndarray,
+                 rows: int = 40, cols: int = 10, batch_size: int = 256,
+                 continue_time_across_layers: bool = True):
+        self.model = model
+        self.x_test = x_test
+        self.y_test = y_test
+        self.rows = rows
+        self.cols = cols
+        self.batch_size = batch_size
+        self.continue_time = continue_time_across_layers
+
+    def baseline_accuracy(self) -> float:
+        """Fault-free accuracy (FLIM with no faults == vanilla)."""
+        return self.model.evaluate(self.x_test, self.y_test, self.batch_size)
+
+    def run(self, spec_factory: Callable[[float], list[FaultSpec] | FaultSpec],
+            xs: Sequence[float], repeats: int = 10, seed: int = 0,
+            layers: list[str] | None = None, label: str = "sweep") -> SweepResult:
+        """Sweep ``xs`` through ``spec_factory``, re-seeding per repetition.
+
+        ``spec_factory(x)`` builds the fault spec(s) for sweep value ``x``
+        (e.g. ``lambda rate: FaultSpec.bitflip(rate)``).  ``layers``
+        restricts injection to named mapped layers (the paper's per-layer
+        resilience study); ``None`` injects into all mapped layers (the
+        "combined" curve).
+        """
+        injector = FaultInjector(self.continue_time)
+        accuracies = np.zeros((len(xs), repeats), dtype=np.float64)
+        for i, x_value in enumerate(xs):
+            specs = spec_factory(x_value)
+            for j in range(repeats):
+                generator = FaultGenerator(
+                    specs, rows=self.rows, cols=self.cols,
+                    seed=seed + 7919 * j + 104729 * i)
+                plan = generator.generate(self.model, layers=layers)
+                with injector.injecting(self.model, plan):
+                    accuracies[i, j] = self.model.evaluate(
+                        self.x_test, self.y_test, self.batch_size)
+        return SweepResult(label=label, xs=list(xs), accuracies=accuracies,
+                           baseline=self.baseline_accuracy(),
+                           meta={"rows": self.rows, "cols": self.cols,
+                                 "repeats": repeats, "layers": layers})

@@ -1,0 +1,143 @@
+"""Fault detection and mitigation strategies.
+
+The paper's conclusion: "to guarantee the development of high-reliability
+emerging applications, it is mandatory to adopt not only fault-tolerant
+approaches but also strategies able to monitor and/or mitigate
+applications' degradation during their lifetime."  This module implements
+three such strategies on top of the platform:
+
+* :func:`march_test` — an online march-style test detecting stuck gates on
+  a crossbar (write/read complementary patterns);
+* :func:`remap_columns` — mitigation by output-channel remapping: park
+  faulty crossbar columns on unused column slots whenever the layer has
+  fewer channels than columns, or swap the most-loaded channels away from
+  the faultiest columns;
+* :func:`majority_vote_predict` — modular redundancy: run inference under
+  several independent crossbar assignments and take the per-sample
+  majority vote.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lim.crossbar import Crossbar
+from ..nn.model import Sequential
+from .generator import FaultPlan
+from .injector import FaultInjector
+from .masks import LayerMasks
+
+__all__ = ["march_test", "masks_from_detection", "remap_columns",
+           "majority_vote_predict"]
+
+
+def march_test(crossbar: Crossbar) -> dict[str, list[tuple[int, int]]]:
+    """March-style online test for stuck gates.
+
+    Drives the crossbar with complementary XNOR patterns whose expected
+    outputs are all-1 then all-0, and reports gates that failed each
+    phase.  A gate stuck at 1 passes the all-1 phase but fails the all-0
+    phase (and vice versa); a healthy gate passes both.
+
+    Returns ``{"stuck_at_1": [...], "stuck_at_0": [...]}`` gate
+    coordinates.  Transient (bit-flip) faults may also be caught if they
+    fire during the test — exactly like a real online test.
+    """
+    shape = (crossbar.rows, crossbar.cols)
+    ones = np.ones(shape, dtype=np.uint8)
+    zeros = np.zeros(shape, dtype=np.uint8)
+
+    # phase 1: XNOR(1, 1) = 1 everywhere -> cells reading 0 are stuck low
+    got_high = crossbar.compute_xnor(ones, ones)
+    stuck_low = np.argwhere(got_high == 0)
+    # phase 2: XNOR(1, 0) = 0 everywhere -> cells reading 1 are stuck high
+    got_low = crossbar.compute_xnor(ones, zeros)
+    stuck_high = np.argwhere(got_low == 1)
+    return {
+        "stuck_at_1": [tuple(map(int, rc)) for rc in stuck_high],
+        "stuck_at_0": [tuple(map(int, rc)) for rc in stuck_low],
+    }
+
+
+def masks_from_detection(crossbar: Crossbar,
+                         detection: dict[str, list[tuple[int, int]]]
+                         ) -> LayerMasks:
+    """Convert march-test results into an injectable fault-mask plane.
+
+    This closes the monitoring loop: detected hardware faults become a
+    FLIM plan whose accuracy impact can be assessed *before* deploying
+    the degraded part.
+    """
+    masks = LayerMasks(rows=crossbar.rows, cols=crossbar.cols)
+    for row, col in detection["stuck_at_1"]:
+        masks.stuck_mask[row, col] = True
+        masks.stuck_values[row, col] = 1
+    for row, col in detection["stuck_at_0"]:
+        masks.stuck_mask[row, col] = True
+        masks.stuck_values[row, col] = 0
+    return masks
+
+
+def remap_columns(masks: LayerMasks, filters: int) -> np.ndarray:
+    """Mitigation: permute the channel→column assignment around faults.
+
+    Crossbar column ``c`` serves output channels ``f ≡ c (mod cols)``;
+    when ``filters < cols`` some columns are spare.  The returned
+    permutation ``perm`` (length ``cols``) reorders columns so the
+    faultiest ones land on spare (or least-exposed) slots.  Columns are
+    ranked by their fault load (stuck + flip cells); the cleanest columns
+    are assigned to the ``filters`` active slots.
+    """
+    if filters <= 0:
+        raise ValueError("filters must be positive")
+    fault_load = (masks.stuck_mask.sum(axis=0)
+                  + masks.flip_mask.sum(axis=0)).astype(int)
+    cols = masks.cols
+    active_slots = min(filters, cols)
+    order = np.argsort(fault_load, kind="stable")
+    perm = np.empty(cols, dtype=int)
+    # cleanest columns take the active slots, faultiest go to spares
+    perm[:active_slots] = order[:active_slots]
+    perm[active_slots:] = order[active_slots:]
+    return perm
+
+
+def apply_column_permutation(masks: LayerMasks, perm: np.ndarray) -> LayerMasks:
+    """The mask planes as seen through a column permutation."""
+    return LayerMasks(
+        rows=masks.rows, cols=masks.cols,
+        flip_mask=masks.flip_mask[:, perm].copy(),
+        flip_period=masks.flip_period,
+        stuck_mask=masks.stuck_mask[:, perm].copy(),
+        stuck_values=masks.stuck_values[:, perm].copy(),
+        flip_semantics=masks.flip_semantics,
+        stuck_semantics=masks.stuck_semantics)
+
+
+def majority_vote_predict(model: Sequential, x: np.ndarray,
+                          plans: list[FaultPlan],
+                          batch_size: int = 256) -> np.ndarray:
+    """Modular-redundancy inference: majority vote across fault plans.
+
+    Each plan represents an independent hardware assignment (e.g. three
+    different crossbar banks with different defects).  Predictions are
+    taken per plan and combined by per-sample majority; ties resolve to
+    the first plan's prediction.
+    """
+    if not plans:
+        raise ValueError("need at least one plan")
+    injector = FaultInjector()
+    votes = []
+    for plan in plans:
+        with injector.injecting(model, plan):
+            logits = model.predict(x, batch_size=batch_size)
+        votes.append(logits.argmax(axis=-1))
+    stacked = np.stack(votes, axis=0)        # (plans, samples)
+    result = votes[0].copy()
+    for sample in range(stacked.shape[1]):
+        values, counts = np.unique(stacked[:, sample], return_counts=True)
+        best = counts.max()
+        winners = values[counts == best]
+        if votes[0][sample] not in winners:
+            result[sample] = winners[0]
+    return result

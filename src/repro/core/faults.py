@@ -1,0 +1,149 @@
+"""Fault model vocabulary of the FLIM platform.
+
+The paper injects faults related to time-dependent deviations:
+
+* **bit-flips** (static and dynamic) — transient faults caused by
+  environmental variations; a dynamic fault is sensitized every n-th XNOR
+  operation (the DRAM-style model of the paper's [24]);
+* **stuck-at faults** — permanent faults from temporal variation /
+  end-of-life degradation;
+* **faulty rows/columns** — structural crossbar faults, encoded (as in
+  the paper) as bit-flip masks with entire rows or columns set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["FaultType", "StuckPolarity", "FaultSpec", "Semantics"]
+
+
+class FaultType(Enum):
+    """The fault classes FLIM injects."""
+
+    BITFLIP = "bitflip"
+    STUCK_AT = "stuck_at"
+    FAULTY_ROWS = "faulty_rows"
+    FAULTY_COLUMNS = "faulty_columns"
+
+
+class StuckPolarity(Enum):
+    """Which level a stuck cell is frozen at.
+
+    ``RANDOM`` draws a polarity per faulty cell — the paper's default, as
+    end-of-life cells stick at either resistive state.
+    """
+
+    STUCK_AT_0 = 0   # frozen at logic 0 (-1 in the bipolar domain)
+    STUCK_AT_1 = 1   # frozen at logic 1 (+1 in the bipolar domain)
+    RANDOM = 2
+
+
+class Semantics(Enum):
+    """Abstraction level at which a fault mask is applied (DESIGN.md §3).
+
+    ``OUTPUT``  — FLIM's fast path: masks act on the layer's feature map
+    (flip/force output elements).  This is the paper's contribution: the
+    speed-for-accuracy trade against device-level simulation.
+
+    ``WEIGHT``  — masks act on the binarized kernel bits resident in the
+    crossbar; a stuck weight bit persists for every XNOR reusing the cell.
+    Optional semantics for stuck-at faults (frozen operand instead of a
+    dead gate).
+
+    ``PRODUCT`` — device-true reference: masks corrupt individual XNOR
+    products via the tile schedule.  Slow; used for verification and the
+    accuracy-ablation benchmark.
+    """
+
+    OUTPUT = "output"
+    WEIGHT = "weight"
+    PRODUCT = "product"
+
+
+_DEFAULT_SEMANTICS = {
+    FaultType.BITFLIP: Semantics.OUTPUT,
+    FaultType.FAULTY_ROWS: Semantics.OUTPUT,
+    FaultType.FAULTY_COLUMNS: Semantics.OUTPUT,
+    # a dead gate's output line rails independent of the data — the
+    # OUTPUT-level freeze is the canonical (and strongest) reading;
+    # WEIGHT-level (frozen stored operand) remains available as an option
+    FaultType.STUCK_AT: Semantics.OUTPUT,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A single fault-injection directive for the Fault Generator.
+
+    Parameters
+    ----------
+    kind:
+        Fault class to inject.
+    rate:
+        Injection rate — fraction of crossbar cells set in the mask
+        (bit-flip / stuck-at).  "The injection rate specifies the number
+        of elements within the array set to 1" (§III).
+    count:
+        Number of faulty rows/columns (structural faults).
+    period:
+        Dynamic-fault period n: the fault is sensitized every n-th XNOR
+        operation.  0 or 1 means static (every operation).
+    polarity:
+        Stuck level for stuck-at faults.
+    semantics:
+        Mask-application level; ``None`` selects the canonical default
+        per fault kind (bit-flips at OUTPUT level, stuck-at at WEIGHT
+        level).
+    """
+
+    kind: FaultType
+    rate: float = 0.0
+    count: int = 0
+    period: int = 0
+    polarity: StuckPolarity = StuckPolarity.RANDOM
+    semantics: Semantics | None = field(default=None)
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.period < 0:
+            raise ValueError("period must be non-negative")
+        if self.kind in (FaultType.FAULTY_ROWS, FaultType.FAULTY_COLUMNS):
+            if self.rate:
+                raise ValueError("row/column faults are specified by count, not rate")
+        if self.kind == FaultType.STUCK_AT and self.period:
+            raise ValueError("stuck-at faults are permanent; period applies to bit-flips")
+
+    @property
+    def effective_semantics(self) -> Semantics:
+        if self.semantics is not None:
+            return self.semantics
+        return _DEFAULT_SEMANTICS[self.kind]
+
+    @staticmethod
+    def bitflip(rate: float, period: int = 0,
+                semantics: Semantics | None = None) -> "FaultSpec":
+        """Transient bit-flips at a given injection rate."""
+        return FaultSpec(FaultType.BITFLIP, rate=rate, period=period,
+                         semantics=semantics)
+
+    @staticmethod
+    def stuck_at(rate: float, polarity: StuckPolarity = StuckPolarity.RANDOM,
+                 semantics: Semantics | None = None) -> "FaultSpec":
+        """Permanent stuck-at faults at a given injection rate."""
+        return FaultSpec(FaultType.STUCK_AT, rate=rate, polarity=polarity,
+                         semantics=semantics)
+
+    @staticmethod
+    def faulty_rows(count: int) -> "FaultSpec":
+        """``count`` entire crossbar rows marked faulty."""
+        return FaultSpec(FaultType.FAULTY_ROWS, count=count)
+
+    @staticmethod
+    def faulty_columns(count: int) -> "FaultSpec":
+        """``count`` entire crossbar columns marked faulty."""
+        return FaultSpec(FaultType.FAULTY_COLUMNS, count=count)

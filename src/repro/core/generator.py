@@ -1,0 +1,97 @@
+"""The Fault Generator (Fig. 2a).
+
+"The Fault Generator constructs a set of fault vectors encoding the fault
+type, location, and injection rate.  This tool is implemented in vanilla
+Python and hence, independent of the fault injection mechanism." — §III.
+
+Mask generation is an offline process: the expensive distribution and
+mapping of faults happens once per plan and is reused over the whole
+simulation (and, through :mod:`repro.core.vectors`, over a myriad of
+experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..binary.layers import QuantLayer
+from ..nn.model import Sequential
+from .faults import FaultSpec
+from .mapping import LayerMapping
+from .masks import LayerMasks, assemble_layer_masks
+
+__all__ = ["FaultPlan", "FaultGenerator", "mapped_layers"]
+
+#: A fault plan assigns each mapped layer (by name) its crossbar masks.
+FaultPlan = dict[str, LayerMasks]
+
+
+def mapped_layers(model: Sequential,
+                  names: list[str] | None = None) -> list[QuantLayer]:
+    """The LIM-mapped quantized layers of a model, optionally filtered.
+
+    Only fully binarized conv/dense layers are mapped (the paper follows
+    X-Fault's conservative approach: non-binary ops run in CMOS).
+    """
+    layers = [layer for layer in model.layers_of_type(QuantLayer) if layer.is_mapped]
+    if names is None:
+        return layers
+    by_name = {layer.name: layer for layer in layers}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise KeyError(f"not mapped layers of this model: {missing}; "
+                       f"mapped: {sorted(by_name)}")
+    return [by_name[name] for name in names]
+
+
+class FaultGenerator:
+    """Builds fault plans: distribution + mapping + vector extraction.
+
+    Parameters
+    ----------
+    rows, cols:
+        Crossbar geometry; every mapped layer gets its own crossbar with
+        these dimensions ("each layer is mapped onto a single crossbar").
+    specs:
+        Fault directives, combined per layer (e.g. bit-flips + stuck-at).
+    seed:
+        Seed of the generator's private RNG.  The paper re-runs each
+        experiment a hundred times, reinitializing the random generator
+        with a new seed value — create one generator per repetition.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | FaultSpec,
+                 rows: int = 40, cols: int = 10, seed: int = 0):
+        if isinstance(specs, FaultSpec):
+            specs = [specs]
+        self.specs = list(specs)
+        self.rows = rows
+        self.cols = cols
+        self.rng = np.random.default_rng(seed)
+
+    def generate(self, model: Sequential,
+                 layers: list[str] | None = None) -> FaultPlan:
+        """Draw fresh masks for every (selected) mapped layer."""
+        plan: FaultPlan = {}
+        for layer in mapped_layers(model, layers):
+            plan[layer.name] = assemble_layer_masks(
+                self.rows, self.cols, self.specs, self.rng)
+        return plan
+
+    def mapping_for(self, layer: QuantLayer) -> LayerMapping:
+        return LayerMapping(layer, self.rows, self.cols)
+
+    def report(self, model: Sequential,
+               layers: list[str] | None = None) -> list[dict[str, object]]:
+        """Per-layer mapping report: parallel ops, totals, reuse factors."""
+        return [self.mapping_for(layer).describe()
+                for layer in mapped_layers(model, layers)]
+
+    def extract_vectors(self, plan: FaultPlan, path) -> None:
+        """Serialize the plan as an annotated binary fault-vector file.
+
+        The file is independent of the dataset and reusable across
+        experiments (§III, "Fault vector extraction").
+        """
+        from .vectors import save_fault_vectors
+        save_fault_vectors(path, plan)

@@ -1,0 +1,125 @@
+"""Fault mapping: crossbar masks onto layer tensors (§III, "Fault mapping").
+
+The Fault Generator "calculates the number of parallel XNOR operations
+based on the crossbars" and "extracts the total number of required XNOR
+operations" of each mapped layer; the mask planes are then translated to
+the tensor domain each semantics level operates in:
+
+* OUTPUT level — the flattened mask vector is tiled over the layer's
+  flattened per-image feature map ("adjusted in length depending on the
+  batch size and the input dimension");
+* WEIGHT level — mask cell (r, c) covers kernel bits (t, f) with
+  ``t ≡ r (mod rows)`` and ``f ≡ c (mod cols)``, following the
+  weight-stationary schedule of :class:`repro.lim.TileSchedule`;
+* PRODUCT level — mask cells enumerate the individual XNOR products they
+  corrupt (device-true reference, shared arithmetic with
+  :mod:`repro.lim.xfault`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..binary.layers import QuantLayer
+from ..lim.scheduler import TileSchedule
+
+__all__ = ["LayerMapping", "tile_vector"]
+
+
+def tile_vector(vector: np.ndarray, length: int) -> np.ndarray:
+    """Repeat a 1-D mask vector to exactly ``length`` elements."""
+    if len(vector) == 0:
+        raise ValueError("cannot tile an empty vector")
+    repeats = -(-length // len(vector))
+    return np.tile(vector, repeats)[:length]
+
+
+class LayerMapping:
+    """Geometry binding one mapped layer to one crossbar."""
+
+    def __init__(self, layer: QuantLayer, rows: int, cols: int):
+        if not layer.is_mapped:
+            raise ValueError(
+                f"layer {layer.name!r} is not LIM-mapped (non-binary operands)")
+        if not layer.built:
+            raise ValueError(f"layer {layer.name!r} must be built before mapping")
+        self.layer = layer
+        self.rows = rows
+        self.cols = cols
+        self.schedule = TileSchedule(
+            positions=layer.positions_per_image(),
+            terms=layer.reduction_length(),
+            filters=layer.output_channels,
+            rows=rows, cols=cols)
+
+    # -- op accounting (the generator's report) ------------------------------
+    @property
+    def parallel_ops(self) -> int:
+        """XNOR operations the crossbar executes per step."""
+        return self.rows * self.cols
+
+    @property
+    def total_ops(self) -> int:
+        """XNOR operations the layer requires per image."""
+        return self.schedule.total_ops
+
+    @property
+    def cell_reuse(self) -> float:
+        return self.schedule.cell_reuse
+
+    # -- OUTPUT-level translation -----------------------------------------
+    def output_flip_selector(self, flip_vector: np.ndarray,
+                             period: int = 0,
+                             time_offset: int = 0) -> np.ndarray:
+        """Boolean selector over the flattened per-image feature map.
+
+        The crossbar-shaped mask vector tiles over the ``O`` output
+        elements.  With a dynamic period ``n > 1`` only every n-th
+        *occurrence* (tiling repetition, optionally offset by the
+        cumulative op time of earlier layers) stays active.
+        """
+        outputs = self.layer.outputs_per_image()
+        selector = tile_vector(flip_vector, outputs).copy()
+        if period > 1:
+            occurrence = np.arange(outputs) // len(flip_vector) + time_offset
+            selector &= (occurrence % period == 0)
+        return selector
+
+    # -- WEIGHT-level translation ---------------------------------------------
+    def weight_plane(self, mask: np.ndarray) -> np.ndarray:
+        """Expand a crossbar mask plane to kernel-bit shape ``(K, F)``."""
+        terms = self.schedule.terms
+        filters = self.schedule.filters
+        return mask[np.arange(terms) % self.rows][:, np.arange(filters) % self.cols]
+
+    def weight_stuck_planes(self, stuck_mask: np.ndarray,
+                            stuck_values: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Kernel-bit stuck mask and bipolar stuck values (±1)."""
+        kmask = self.weight_plane(stuck_mask)
+        kvals = self.weight_plane(stuck_values).astype(np.float32) * 2.0 - 1.0
+        return kmask, kvals
+
+    # -- PRODUCT-level translation ---------------------------------------------
+    def product_cells(self, mask: np.ndarray) -> list[tuple[int, int]]:
+        """Faulty (row, col) gate coordinates for product-level injection."""
+        rows, cols = np.nonzero(mask)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def cell_terms(self, row: int) -> np.ndarray:
+        return self.schedule.terms_on_row(row)
+
+    def cell_channels(self, col: int) -> np.ndarray:
+        return self.schedule.channels_on_column(col)
+
+    def describe(self) -> dict[str, object]:
+        """Mapping report entry (used by FaultGenerator.report)."""
+        return {
+            "layer": self.layer.name,
+            "crossbar": (self.rows, self.cols),
+            "parallel_xnor_ops": self.parallel_ops,
+            "xnor_ops_per_image": self.total_ops,
+            "cell_reuse": round(self.cell_reuse, 2),
+            "outputs_per_image": self.layer.outputs_per_image(),
+            "reduction_length": self.layer.reduction_length(),
+        }

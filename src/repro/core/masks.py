@@ -1,0 +1,149 @@
+"""Fault-mask construction (the Fault Generator's "fault distribution").
+
+A mask is a 2-dimensional Boolean array with the dimensions of the
+crossbar executing the layer; the injection rate sets the exact number of
+elements marked faulty (§III, "Fault masking").  Stuck-at masks carry an
+additional value plane recording the frozen level of each faulty cell.
+Faulty rows/columns are encoded by setting whole lines of the bit-flip
+mask, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .faults import FaultSpec, FaultType, StuckPolarity
+
+__all__ = ["LayerMasks", "build_bitflip_mask", "build_stuck_mask",
+           "build_line_mask", "assemble_layer_masks"]
+
+
+def _exact_count(rate: float, cells: int) -> int:
+    """Number of faulty cells for an injection rate (paper: exact count)."""
+    return int(round(rate * cells))
+
+
+def build_bitflip_mask(rows: int, cols: int, rate: float,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Uniformly distributed bit-flip mask at the given injection rate."""
+    mask = np.zeros((rows, cols), dtype=bool)
+    count = _exact_count(rate, rows * cols)
+    if count:
+        flat = rng.choice(rows * cols, size=count, replace=False)
+        mask.reshape(-1)[flat] = True
+    return mask
+
+
+def build_stuck_mask(rows: int, cols: int, rate: float,
+                     polarity: StuckPolarity,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Stuck-at mask plus the per-cell frozen levels.
+
+    Returns ``(mask, values)`` where ``values`` holds {0, 1} levels (only
+    meaningful where ``mask`` is set).
+    """
+    mask = build_bitflip_mask(rows, cols, rate, rng)
+    values = np.zeros((rows, cols), dtype=np.uint8)
+    if polarity == StuckPolarity.RANDOM:
+        values[mask] = rng.integers(0, 2, size=int(mask.sum()), dtype=np.uint8)
+    else:
+        values[mask] = polarity.value
+    return mask, values
+
+
+def build_line_mask(rows: int, cols: int, kind: FaultType, count: int,
+                    rng: np.random.Generator,
+                    indices: np.ndarray | None = None) -> np.ndarray:
+    """Mask with ``count`` whole rows or columns set.
+
+    Specific line indices may be forced via ``indices``; otherwise distinct
+    lines are drawn uniformly.
+    """
+    mask = np.zeros((rows, cols), dtype=bool)
+    size = rows if kind == FaultType.FAULTY_ROWS else cols
+    if count > size:
+        raise ValueError(f"cannot mark {count} faulty lines on a size-{size} axis")
+    if indices is None:
+        indices = rng.choice(size, size=count, replace=False) if count else np.array([], dtype=int)
+    if kind == FaultType.FAULTY_ROWS:
+        mask[np.asarray(indices, dtype=int), :] = True
+    else:
+        mask[:, np.asarray(indices, dtype=int)] = True
+    return mask
+
+
+@dataclass
+class LayerMasks:
+    """All fault state assigned to one mapped layer's crossbar.
+
+    ``flip_mask``/``flip_period`` drive transient (possibly dynamic)
+    bit-flips; ``stuck_mask``/``stuck_values`` drive permanent stuck-at
+    faults; ``semantics`` record at which level each plane is applied.
+    """
+
+    rows: int
+    cols: int
+    flip_mask: np.ndarray = field(default=None)
+    flip_period: int = 0
+    stuck_mask: np.ndarray = field(default=None)
+    stuck_values: np.ndarray = field(default=None)
+    flip_semantics: str = "output"
+    stuck_semantics: str = "output"
+
+    def __post_init__(self):
+        if self.flip_mask is None:
+            self.flip_mask = np.zeros((self.rows, self.cols), dtype=bool)
+        if self.stuck_mask is None:
+            self.stuck_mask = np.zeros((self.rows, self.cols), dtype=bool)
+        if self.stuck_values is None:
+            self.stuck_values = np.zeros((self.rows, self.cols), dtype=np.uint8)
+        for plane in (self.flip_mask, self.stuck_mask, self.stuck_values):
+            if plane.shape != (self.rows, self.cols):
+                raise ValueError(
+                    f"mask plane shape {plane.shape} != crossbar {(self.rows, self.cols)}")
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self.flip_mask.any() or self.stuck_mask.any())
+
+    def fault_counts(self) -> dict[str, int]:
+        return {"bitflips": int(self.flip_mask.sum()),
+                "stuck": int(self.stuck_mask.sum())}
+
+    def flip_vector(self) -> np.ndarray:
+        """Flattened 1-D noise vector (the paper's 'fault vector extraction')."""
+        return self.flip_mask.reshape(-1)
+
+    def stuck_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.stuck_mask.reshape(-1), self.stuck_values.reshape(-1)
+
+
+def assemble_layer_masks(rows: int, cols: int, specs: list[FaultSpec],
+                         rng: np.random.Generator) -> LayerMasks:
+    """Combine fault specs into one :class:`LayerMasks` for a crossbar.
+
+    Bit-flip and line faults OR into the flip plane (the paper's
+    treatment); stuck-at specs OR into the stuck plane with later specs
+    winning value conflicts.  A dynamic period on any bit-flip spec applies
+    to the whole flip plane (one period per layer, as in Fig. 4c).
+    """
+    masks = LayerMasks(rows=rows, cols=cols)
+    for spec in specs:
+        if spec.kind == FaultType.BITFLIP:
+            masks.flip_mask |= build_bitflip_mask(rows, cols, spec.rate, rng)
+            if spec.period > 1:
+                masks.flip_period = spec.period
+            masks.flip_semantics = spec.effective_semantics.value
+        elif spec.kind in (FaultType.FAULTY_ROWS, FaultType.FAULTY_COLUMNS):
+            masks.flip_mask |= build_line_mask(rows, cols, spec.kind, spec.count, rng)
+            masks.flip_semantics = spec.effective_semantics.value
+        elif spec.kind == FaultType.STUCK_AT:
+            mask, values = build_stuck_mask(rows, cols, spec.rate, spec.polarity, rng)
+            masks.stuck_mask |= mask
+            masks.stuck_values[mask] = values[mask]
+            masks.stuck_semantics = spec.effective_semantics.value
+        else:
+            raise ValueError(f"unhandled fault kind {spec.kind}")
+    return masks

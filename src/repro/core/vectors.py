@@ -1,0 +1,106 @@
+"""Annotated binary fault-vector files (§III, "Fault vector extraction").
+
+"The 2-dimensional arrays are flattened to 1 dimension.  Furthermore, the
+vectors are stored in a binary file annotated with meta-information about
+the assigned layer and mask type.  The binary file is independent of the
+dataset and reusable for a myriad of experiments."
+
+File layout (little-endian):
+
+========  ======  =====================================================
+offset    type    meaning
+========  ======  =====================================================
+0         4s      magic ``b"FLIM"``
+4         u16     format version (currently 1)
+6         u32     record count
+--- per record ---
+          u16     layer-name length, then that many UTF-8 bytes
+          u32     crossbar rows
+          u32     crossbar cols
+          u32     dynamic flip period (0/1 = static)
+          u8      flip semantics (0 output, 1 weight, 2 product)
+          u8      stuck semantics
+          bytes   packed flip mask   (ceil(rows*cols/8) bytes)
+          bytes   packed stuck mask  (same length)
+          bytes   packed stuck values (same length)
+========  ======  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .masks import LayerMasks
+
+__all__ = ["MAGIC", "VERSION", "save_fault_vectors", "load_fault_vectors"]
+
+MAGIC = b"FLIM"
+VERSION = 1
+
+_SEMANTICS_CODE = {"output": 0, "weight": 1, "product": 2}
+_SEMANTICS_NAME = {code: name for name, code in _SEMANTICS_CODE.items()}
+
+
+def _pack_plane(plane: np.ndarray) -> bytes:
+    return np.packbits(plane.astype(np.uint8).reshape(-1)).tobytes()
+
+
+def _unpack_plane(payload: bytes, rows: int, cols: int) -> np.ndarray:
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8),
+                         count=rows * cols)
+    return bits.reshape(rows, cols)
+
+
+def save_fault_vectors(path, plan: dict[str, LayerMasks]) -> None:
+    """Write a fault plan to an annotated binary vector file."""
+    chunks = [struct.pack("<4sHI", MAGIC, VERSION, len(plan))]
+    for name, masks in plan.items():
+        encoded = name.encode("utf-8")
+        chunks.append(struct.pack("<H", len(encoded)))
+        chunks.append(encoded)
+        chunks.append(struct.pack(
+            "<IIIBB", masks.rows, masks.cols, masks.flip_period,
+            _SEMANTICS_CODE[masks.flip_semantics],
+            _SEMANTICS_CODE[masks.stuck_semantics]))
+        chunks.append(_pack_plane(masks.flip_mask))
+        chunks.append(_pack_plane(masks.stuck_mask))
+        chunks.append(_pack_plane(masks.stuck_values))
+    with open(path, "wb") as handle:
+        handle.write(b"".join(chunks))
+
+
+def load_fault_vectors(path) -> dict[str, LayerMasks]:
+    """Read a fault plan back from an annotated binary vector file."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    magic, version, count = struct.unpack_from("<4sHI", data, 0)
+    if magic != MAGIC:
+        raise ValueError(f"not a FLIM fault-vector file (magic {magic!r})")
+    if version != VERSION:
+        raise ValueError(f"unsupported fault-vector version {version}")
+    offset = struct.calcsize("<4sHI")
+    plan: dict[str, LayerMasks] = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        name = data[offset:offset + name_len].decode("utf-8")
+        offset += name_len
+        rows, cols, period, flip_sem, stuck_sem = struct.unpack_from(
+            "<IIIBB", data, offset)
+        offset += struct.calcsize("<IIIBB")
+        plane_bytes = -(-rows * cols // 8)
+        flip = _unpack_plane(data[offset:offset + plane_bytes], rows, cols)
+        offset += plane_bytes
+        stuck = _unpack_plane(data[offset:offset + plane_bytes], rows, cols)
+        offset += plane_bytes
+        values = _unpack_plane(data[offset:offset + plane_bytes], rows, cols)
+        offset += plane_bytes
+        plan[name] = LayerMasks(
+            rows=rows, cols=cols,
+            flip_mask=flip.astype(bool), flip_period=period,
+            stuck_mask=stuck.astype(bool), stuck_values=values.astype(np.uint8),
+            flip_semantics=_SEMANTICS_NAME[flip_sem],
+            stuck_semantics=_SEMANTICS_NAME[stuck_sem])
+    return plan

@@ -1,0 +1,111 @@
+"""Procedural ImageNet stand-in: 10-class 32×32 RGB texture/shape task.
+
+The model-resilience study (paper Fig. 5, Table II) evaluates nine BNN
+architectures pre-trained on ImageNet.  Offline, we substitute a
+procedurally generated 10-class RGB task whose classes are defined by
+*structure* (stripe orientation/frequency, blobs, rings, edges), not by
+color — color, brightness and phase are randomized per sample — so
+networks must learn spatial features, exercising the same conv/dense XNOR
+pipelines the faults corrupt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CLASS_NAMES", "render_class", "generate_dataset", "load_synth_imagenet"]
+
+CLASS_NAMES = [
+    "h_stripes", "v_stripes", "diag_stripes", "checker", "rings",
+    "blobs", "edge", "squares", "dots", "wedge",
+]
+
+
+def _grid(size):
+    return np.mgrid[0:size, 0:size].astype(np.float32) / (size - 1)
+
+
+def _colorize(pattern: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Map a [0,1] pattern to RGB with two random endpoint colors."""
+    lo = rng.uniform(0.0, 0.45, size=3)
+    hi = rng.uniform(0.55, 1.0, size=3)
+    if rng.random() < 0.5:
+        lo, hi = hi, lo
+    return pattern[..., None] * hi + (1 - pattern[..., None]) * lo
+
+
+def render_class(label: int, rng: np.random.Generator, size: int = 32) -> np.ndarray:
+    """Render one sample of a class as a float32 (size, size, 3) image."""
+    yy, xx = _grid(size)
+    freq = rng.uniform(2.5, 5.0)
+    phase = rng.uniform(0, 2 * np.pi)
+    if label == 0:      # horizontal stripes
+        pattern = 0.5 + 0.5 * np.sin(2 * np.pi * freq * yy + phase)
+    elif label == 1:    # vertical stripes
+        pattern = 0.5 + 0.5 * np.sin(2 * np.pi * freq * xx + phase)
+    elif label == 2:    # diagonal stripes
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        pattern = 0.5 + 0.5 * np.sin(2 * np.pi * freq * (xx + sign * yy) / np.sqrt(2) + phase)
+    elif label == 3:    # checkerboard
+        cells = rng.integers(3, 6)
+        pattern = ((xx * cells).astype(int) + (yy * cells).astype(int)) % 2
+        pattern = pattern.astype(np.float32)
+    elif label == 4:    # concentric rings
+        cx, cy = rng.uniform(0.35, 0.65, size=2)
+        radius = np.sqrt((xx - cx) ** 2 + (yy - cy) ** 2)
+        pattern = 0.5 + 0.5 * np.sin(2 * np.pi * freq * 2 * radius + phase)
+    elif label == 5:    # soft blobs
+        pattern = np.zeros((size, size), dtype=np.float32)
+        for _ in range(rng.integers(3, 6)):
+            cx, cy = rng.uniform(0.1, 0.9, size=2)
+            sigma = rng.uniform(0.08, 0.18)
+            pattern += np.exp(-((xx - cx) ** 2 + (yy - cy) ** 2) / (2 * sigma ** 2))
+        pattern = np.clip(pattern, 0, 1)
+    elif label == 6:    # single oriented edge
+        angle = rng.uniform(0, 2 * np.pi)
+        offset = rng.uniform(0.35, 0.65)
+        proj = (xx - 0.5) * np.cos(angle) + (yy - 0.5) * np.sin(angle) + 0.5
+        pattern = (proj > offset).astype(np.float32)
+    elif label == 7:    # concentric squares
+        cx, cy = rng.uniform(0.4, 0.6, size=2)
+        radius = np.maximum(np.abs(xx - cx), np.abs(yy - cy))
+        pattern = 0.5 + 0.5 * np.sin(2 * np.pi * freq * 2 * radius + phase)
+    elif label == 8:    # dot lattice
+        cells = rng.integers(4, 7)
+        fx = (xx * cells) % 1.0 - 0.5
+        fy = (yy * cells) % 1.0 - 0.5
+        pattern = (np.sqrt(fx ** 2 + fy ** 2) < rng.uniform(0.2, 0.32)).astype(np.float32)
+    elif label == 9:    # wedge (angular sector)
+        cx, cy = rng.uniform(0.4, 0.6, size=2)
+        theta = np.arctan2(yy - cy, xx - cx)
+        start = rng.uniform(-np.pi, np.pi)
+        width = rng.uniform(1.2, 2.4)
+        delta = (theta - start) % (2 * np.pi)
+        pattern = (delta < width).astype(np.float32)
+    else:
+        raise ValueError(f"label must be 0..9, got {label}")
+    image = _colorize(pattern.astype(np.float32), rng)
+    image += rng.normal(0.0, 0.05, image.shape)
+    return np.clip(image, 0.0, 1.0).astype(np.float32)
+
+
+def generate_dataset(n: int, seed: int = 0, size: int = 32
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``n`` labelled images (balanced, shuffled)."""
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 10
+    rng.shuffle(labels)
+    images = np.empty((n, size, size, 3), dtype=np.float32)
+    for i, label in enumerate(labels):
+        images[i] = render_class(int(label), rng, size)
+    return images, labels.astype(np.int64)
+
+
+def load_synth_imagenet(n_train: int = 2500, n_test: int = 500, seed: int = 7,
+                        size: int = 32
+                        ) -> tuple[tuple[np.ndarray, np.ndarray],
+                                   tuple[np.ndarray, np.ndarray]]:
+    """(x_train, y_train), (x_test, y_test) — the ImageNet-substitute splits."""
+    train = generate_dataset(n_train, seed=seed, size=size)
+    test = generate_dataset(n_test, seed=seed + 10_000, size=size)
+    return train, test

@@ -1,0 +1,33 @@
+"""Logic-in-memory substrate: devices, gates, crossbars, device-level sim.
+
+The stack, bottom-up:
+
+* :mod:`repro.lim.memristor` — ReRAM cell arrays with health states;
+* :mod:`repro.lim.gates` — MAGIC / IMPLY XNOR gate programs (4 cells/gate);
+* :mod:`repro.lim.crossbar` — the R×C gate array with fault injection;
+* :mod:`repro.lim.scheduler` — weight-stationary tile schedule shared with
+  the FLIM fast path;
+* :mod:`repro.lim.xfault` — the device-level BNN executor (X-Fault stand-in).
+"""
+
+from .crossbar import Crossbar, CrossbarConfig
+from .energy import (EnergyParams, LayerCost, estimate_layer_cost,
+                     estimate_model_cost)
+from .gates import (CELL_A, CELL_B, CELL_OUT, CELL_W, ImplyXnorGate,
+                    MagicXnorGate, XnorGate, get_gate_family)
+from .memristor import CellArray, DeviceParams, Health
+from .periphery import SenseAmplifier, WriteVerifyProgrammer
+from .reliability import EnduranceModel, LifetimePoint, lifetime_fault_rates
+from .scheduler import TileSchedule
+from .xfault import XFaultSimulator, ideal_device_params
+
+__all__ = [
+    "CellArray", "DeviceParams", "Health",
+    "XnorGate", "ImplyXnorGate", "MagicXnorGate", "get_gate_family",
+    "CELL_A", "CELL_B", "CELL_W", "CELL_OUT",
+    "Crossbar", "CrossbarConfig", "TileSchedule",
+    "XFaultSimulator", "ideal_device_params",
+    "EnergyParams", "LayerCost", "estimate_layer_cost", "estimate_model_cost",
+    "EnduranceModel", "LifetimePoint", "lifetime_fault_rates",
+    "SenseAmplifier", "WriteVerifyProgrammer",
+]

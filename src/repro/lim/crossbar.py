@@ -1,0 +1,184 @@
+"""Memristive crossbar array executing parallel XNOR operations (Fig. 1).
+
+A crossbar holds ``rows × cols`` XNOR gate slots, each backed by four
+memristor cells (:mod:`repro.lim.gates`).  The array supports
+
+* ideal and device-level XNOR tile evaluation,
+* cell-level fault injection (stuck-at on any of the four cells),
+* structural row/column faults (broken drivers: every cell on the line is
+  stuck),
+* dynamic faults that sensitize a cell every n-th use (the paper's [24]),
+* per-cell use counting, which the dynamic-fault model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .gates import CELL_B, CELL_OUT, CELL_W, get_gate_family
+from .memristor import CellArray, DeviceParams, Health
+
+__all__ = ["CrossbarConfig", "Crossbar"]
+
+
+@dataclass
+class CrossbarConfig:
+    """Geometry and device configuration of a crossbar instance."""
+
+    rows: int = 40
+    cols: int = 10
+    gate_family: str = "imply"
+    device: DeviceParams | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+
+
+class Crossbar:
+    """An R×C array of 4-memristor XNOR gates with fault state."""
+
+    def __init__(self, config: CrossbarConfig | None = None, **overrides):
+        if config is None:
+            config = CrossbarConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a config or keyword overrides, not both")
+        self.config = config
+        self.rows = config.rows
+        self.cols = config.cols
+        self.gate = get_gate_family(config.gate_family)
+        device = config.device if config.device is not None else DeviceParams()
+        self.cells = CellArray((self.rows, self.cols, 4), device, seed=config.seed)
+        # transient bit-flip faults: flip the gate output on (every n-th) use
+        self.flip_mask = np.zeros((self.rows, self.cols), dtype=bool)
+        self.flip_period = np.zeros((self.rows, self.cols), dtype=np.int64)
+        self.use_count = np.zeros((self.rows, self.cols), dtype=np.int64)
+
+    # -- fault injection --------------------------------------------------
+    def inject_stuck_cell(self, row: int, col: int, cell: int,
+                          stuck_value: int) -> None:
+        """Stuck-at fault on one of a gate's four memristors."""
+        health = Health.STUCK_LRS if stuck_value else Health.STUCK_HRS
+        self.cells.set_health((row, col, cell), health)
+
+    def inject_stuck_gate(self, row: int, col: int, stuck_value: int) -> None:
+        """Stuck output: the gate's OUT cell can no longer switch."""
+        self.inject_stuck_cell(row, col, CELL_OUT, stuck_value)
+
+    def inject_stuck_weight(self, row: int, col: int, stuck_value: int) -> None:
+        """Freeze the gate's stored weight at a valid binary level.
+
+        This is the device view of FLIM's WEIGHT-level stuck-at: the gate
+        keeps computing a clean XNOR, but against a frozen operand.  With
+        complementary-pair storage (MAGIC) both weight cells stick
+        consistently; with IMPLY the weight lives in a single cell whose
+        stuck behaviour is messier (see the gate tests) — only stuck-at-1
+        degenerates to a clean frozen weight there.
+        """
+        if self.config.gate_family == "magic":
+            self.inject_stuck_cell(row, col, CELL_W, stuck_value)
+            self.inject_stuck_cell(row, col, CELL_OUT, 1 - stuck_value)
+        else:
+            self.inject_stuck_cell(row, col, CELL_B, stuck_value)
+
+    def inject_row_fault(self, row: int, stuck_value: int = 0) -> None:
+        """Broken row driver: every cell on the row is stuck."""
+        health = Health.STUCK_LRS if stuck_value else Health.STUCK_HRS
+        self.cells.set_health((row, slice(None), slice(None)), health)
+
+    def inject_column_fault(self, col: int, stuck_value: int = 0) -> None:
+        """Broken column driver: every cell on the column is stuck."""
+        health = Health.STUCK_LRS if stuck_value else Health.STUCK_HRS
+        self.cells.set_health((slice(None), col, slice(None)), health)
+
+    def inject_bitflip(self, row: int, col: int, period: int = 0) -> None:
+        """Transient output flip at a gate; ``period`` n>0 makes it dynamic
+        (sensitized every n-th use), n==0 flips every use."""
+        self.flip_mask[row, col] = True
+        self.flip_period[row, col] = period
+
+    def clear_faults(self) -> None:
+        self.cells.health[...] = Health.OK
+        self.flip_mask[...] = False
+        self.flip_period[...] = 0
+        self.use_count[...] = 0
+
+    def fault_summary(self) -> dict[str, int]:
+        return {
+            "stuck_cells": int((self.cells.health != Health.OK).sum()),
+            "flip_gates": int(self.flip_mask.sum()),
+        }
+
+    # -- execution ----------------------------------------------------------
+    def compute_xnor(self, a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
+        """Device-level XNOR of two {0,1} tiles of shape ``(rows, cols)``.
+
+        Unused gate positions can simply carry zeros; the caller masks the
+        result.  Each call counts as one use of every gate in the tile.
+        """
+        a_bits = np.asarray(a_bits, dtype=np.uint8)
+        b_bits = np.asarray(b_bits, dtype=np.uint8)
+        if a_bits.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"tile shape {a_bits.shape} != crossbar {(self.rows, self.cols)}")
+        out = self.gate.compute(self.cells, a_bits, b_bits).astype(np.uint8)
+        if self.flip_mask.any():
+            period = self.flip_period
+            due = np.zeros_like(self.flip_mask)
+            static = self.flip_mask & (period == 0)
+            dynamic = self.flip_mask & (period > 0)
+            due |= static
+            with np.errstate(divide="ignore", invalid="ignore"):
+                hits = dynamic & (self.use_count % np.where(period > 0, period, 1) == 0)
+            due |= hits
+            out = np.where(due, 1 - out, out)
+        self.use_count += 1
+        return out
+
+    def compute_xnor_serial(self, a_bits: np.ndarray, b_bits: np.ndarray
+                            ) -> np.ndarray:
+        """Gate-serial device evaluation: one gate program at a time.
+
+        This is the granularity X-Fault simulates at ("faults on
+        memristor level"): every gate's program executes on its own four
+        cells with no vectorization across the tile.  Functionally
+        identical to :meth:`compute_xnor` (same cells, same faults, same
+        use counting) — only the cost model differs, by orders of
+        magnitude.
+        """
+        a_bits = np.asarray(a_bits, dtype=np.uint8)
+        b_bits = np.asarray(b_bits, dtype=np.uint8)
+        if a_bits.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"tile shape {a_bits.shape} != crossbar {(self.rows, self.cols)}")
+        out = np.empty((self.rows, self.cols), dtype=np.uint8)
+        for row in range(self.rows):
+            for col in range(self.cols):
+                gate_cells = self.cells.subview(
+                    (slice(row, row + 1), slice(col, col + 1)))
+                result = self.gate.compute(
+                    gate_cells,
+                    a_bits[row:row + 1, col:col + 1],
+                    b_bits[row:row + 1, col:col + 1])
+                out[row, col] = result[0, 0]
+        if self.flip_mask.any():
+            due = self.flip_mask & (self.flip_period == 0)
+            dynamic = self.flip_mask & (self.flip_period > 0)
+            periods = np.where(self.flip_period > 0, self.flip_period, 1)
+            due |= dynamic & (self.use_count % periods == 0)
+            out = np.where(due, 1 - out, out)
+        self.use_count += 1
+        return out
+
+    def ideal_xnor(self, a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
+        """Golden XNOR with no device in the loop (for verification)."""
+        a_bits = np.asarray(a_bits, dtype=np.uint8)
+        b_bits = np.asarray(b_bits, dtype=np.uint8)
+        return (1 - (a_bits ^ b_bits)).astype(np.uint8)
+
+    def __repr__(self):
+        return (f"<Crossbar {self.rows}x{self.cols} gate={self.config.gate_family} "
+                f"faults={self.fault_summary()}>")

@@ -1,0 +1,92 @@
+"""Energy and latency estimation for LIM execution.
+
+The paper motivates LIM with performance and energy efficiency; this
+module quantifies both for the mapped workloads.  Costs are derived from
+the gate programs of :mod:`repro.lim.gates` — every driver step is a
+voltage pulse across a tile — with typical ReRAM numbers (switching
+energy per cell ~0.1-1 pJ, pulse width ~1-10 ns).  Absolute values are
+parameterizable; the interesting outputs are the *relative* costs of the
+gate families and the per-layer breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..binary.layers import QuantLayer
+from ..nn.model import Sequential
+from .gates import get_gate_family
+from .scheduler import TileSchedule
+
+__all__ = ["EnergyParams", "LayerCost", "estimate_layer_cost",
+           "estimate_model_cost"]
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Device-level cost constants (typical HfO2 ReRAM values)."""
+
+    write_energy_pj: float = 0.5     # energy per cell switching event
+    read_energy_pj: float = 0.05     # energy per cell sense
+    pulse_ns: float = 5.0            # duration of one driver step
+    #: cells touched per gate per driver step (programming the operand
+    #: pair, executing, sensing) — an average over the gate program
+    cells_per_step: float = 1.0
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Estimated LIM execution cost of one mapped layer (per image)."""
+
+    layer: str
+    xnor_ops: int
+    driver_steps: int
+    energy_nj: float
+    latency_us: float
+
+    def row(self) -> tuple:
+        return (self.layer, self.xnor_ops, self.driver_steps,
+                round(self.energy_nj, 3), round(self.latency_us, 3))
+
+
+def estimate_layer_cost(layer: QuantLayer, rows: int, cols: int,
+                        gate_family: str = "imply",
+                        params: EnergyParams | None = None) -> LayerCost:
+    """Energy/latency of one mapped layer on an ``rows x cols`` crossbar.
+
+    Latency counts sequential driver steps (tile loads x gate-program
+    steps x pulse width); energy counts every gate in the tile switching
+    at every step.
+    """
+    if params is None:
+        params = EnergyParams()
+    gate = get_gate_family(gate_family)
+    schedule = TileSchedule(
+        positions=layer.positions_per_image(),
+        terms=layer.reduction_length(),
+        filters=layer.output_channels,
+        rows=rows, cols=cols)
+    driver_steps = schedule.steps * gate.steps_per_op
+    gates_active = rows * cols
+    switch_events = driver_steps * gates_active * params.cells_per_step
+    energy_pj = (switch_events * params.write_energy_pj
+                 + schedule.steps * gates_active * params.read_energy_pj)
+    latency_ns = driver_steps * params.pulse_ns
+    return LayerCost(
+        layer=layer.name,
+        xnor_ops=schedule.total_ops,
+        driver_steps=driver_steps,
+        energy_nj=energy_pj / 1e3,
+        latency_us=latency_ns / 1e3)
+
+
+def estimate_model_cost(model: Sequential, rows: int = 40, cols: int = 10,
+                        gate_family: str = "imply",
+                        params: EnergyParams | None = None) -> list[LayerCost]:
+    """Per-layer cost table for every LIM-mapped layer of a model."""
+    costs = []
+    for layer in model.layers_of_type(QuantLayer):
+        if layer.is_mapped:
+            costs.append(estimate_layer_cost(layer, rows, cols, gate_family,
+                                             params))
+    return costs

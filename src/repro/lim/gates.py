@@ -1,0 +1,142 @@
+"""Stateful logic families implementing XNOR on four memristors.
+
+The paper assumes "the underlying usage of a logic family implementing the
+XNOR logic gate" with MAGIC and IMPLY as the candidates, four memristors
+per XNOR.  Both families are modelled mechanistically enough that a fault
+on *any* of the four cells corrupts the result the way the physical gate
+would:
+
+* :class:`ImplyXnorGate` executes a literal 11-step IMPLY/RESET program on
+  cells [A, B, W, OUT].  IMPLY(p, q) writes ``¬p ∨ q`` into q; RESET writes
+  0.  Stuck cells simply ignore the writes, so corruption propagates
+  through the remaining steps exactly as on hardware.
+* :class:`MagicXnorGate` uses the complementary-pair encoding common in
+  XNOR-BNN crossbars: the weight bit is stored as (w, ¬w) on two cells, the
+  input is applied as (x, ¬x); the sensed output is ``(x∧w) ∨ (¬x∧¬¬w)``
+  computed from the (possibly corrupted) stored levels.
+
+Gate programs operate vectorized over ``(rows, cols)`` tiles of a
+:class:`~repro.lim.memristor.CellArray` with shape ``(rows, cols, 4)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .memristor import CellArray
+
+__all__ = ["CELL_A", "CELL_B", "CELL_W", "CELL_OUT", "XnorGate",
+           "ImplyXnorGate", "MagicXnorGate", "get_gate_family"]
+
+CELL_A, CELL_B, CELL_W, CELL_OUT = 0, 1, 2, 3
+
+
+class XnorGate:
+    """Interface of a 4-memristor XNOR gate family."""
+
+    #: number of driver steps one evaluation costs (used by the runtime model)
+    steps_per_op: int = 1
+
+    def compute(self, cells: CellArray, a_bits: np.ndarray, b_bits: np.ndarray
+                ) -> np.ndarray:
+        """Program inputs, run the gate program, read the XNOR outputs.
+
+        ``a_bits``/``b_bits`` are {0,1} arrays of shape ``(rows, cols)``;
+        the return value has the same shape.
+        """
+        raise NotImplementedError
+
+
+class ImplyXnorGate(XnorGate):
+    """Material-implication XNOR (Kvatinsky et al. [23] style).
+
+    The 11-step program below computes XNOR(A, B) into OUT using one work
+    cell, destroying the inputs (controllers reprogram inputs each
+    operation anyway):
+
+    ========  ==================  ===========================
+    step      operation           cell contents afterwards
+    ========  ==================  ===========================
+    1         RESET W             W = 0
+    2         W  := A  IMP W      W = ¬A
+    3         RESET OUT           OUT = 0
+    4         OUT := B IMP OUT    OUT = ¬B
+    5         B  := A  IMP B      B = A→B
+    6         OUT := W IMP OUT    OUT = B→A
+    7         RESET A             A = 0
+    8         A  := OUT IMP A     A = ¬(B→A)
+    9         A  := B  IMP A      A = XOR(A₀, B₀)
+    10        RESET OUT           OUT = 0
+    11        OUT := A IMP OUT    OUT = XNOR(A₀, B₀)
+    ========  ==================  ===========================
+    """
+
+    steps_per_op = 11
+
+    #: program encoding: ("reset", target) or ("imply", p, q)
+    PROGRAM = (
+        ("reset", CELL_W),
+        ("imply", CELL_A, CELL_W),
+        ("reset", CELL_OUT),
+        ("imply", CELL_B, CELL_OUT),
+        ("imply", CELL_A, CELL_B),
+        ("imply", CELL_W, CELL_OUT),
+        ("reset", CELL_A),
+        ("imply", CELL_OUT, CELL_A),
+        ("imply", CELL_B, CELL_A),
+        ("reset", CELL_OUT),
+        ("imply", CELL_A, CELL_OUT),
+    )
+
+    def compute(self, cells, a_bits, b_bits):
+        cells.write(np.asarray(a_bits), (..., CELL_A))
+        cells.write(np.asarray(b_bits), (..., CELL_B))
+        for op in self.PROGRAM:
+            if op[0] == "reset":
+                target = op[1]
+                cells.write(np.zeros(a_bits.shape, dtype=np.uint8), (..., target))
+            else:
+                _, p, q = op
+                p_bits = cells.read((..., p))
+                q_bits = cells.read((..., q))
+                result = ((1 - p_bits) | q_bits).astype(np.uint8)
+                cells.write(result, (..., q))
+        return cells.read((..., CELL_OUT))
+
+
+class MagicXnorGate(XnorGate):
+    """Complementary-pair XNOR (MAGIC-style read-out).
+
+    Cell roles: A holds x, B holds ¬x, W holds w, OUT holds ¬w.  The sensed
+    result is ``(x∧w) ∨ (¬x∧¬w)`` evaluated from the *stored* levels — a
+    stuck cell breaks the complementary invariant and corrupts the output
+    mechanistically (e.g. both pair cells reading 1 makes the gate always
+    fire).
+    """
+
+    steps_per_op = 3  # program pair, single evaluation pulse, read
+
+    def compute(self, cells, a_bits, b_bits):
+        a_bits = np.asarray(a_bits)
+        b_bits = np.asarray(b_bits)
+        cells.write(a_bits, (..., CELL_A))
+        cells.write((1 - a_bits).astype(np.uint8), (..., CELL_B))
+        cells.write(b_bits, (..., CELL_W))
+        cells.write((1 - b_bits).astype(np.uint8), (..., CELL_OUT))
+        x = cells.read((..., CELL_A))
+        x_bar = cells.read((..., CELL_B))
+        w = cells.read((..., CELL_W))
+        w_bar = cells.read((..., CELL_OUT))
+        return ((x & w) | (x_bar & w_bar)).astype(np.uint8)
+
+
+_FAMILIES = {"imply": ImplyXnorGate, "magic": MagicXnorGate}
+
+
+def get_gate_family(name: str) -> XnorGate:
+    """Instantiate a gate family by name ('imply' or 'magic')."""
+    try:
+        return _FAMILIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown gate family {name!r}; known: {sorted(_FAMILIES)}") from None

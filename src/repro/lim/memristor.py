@@ -1,0 +1,147 @@
+"""Memristive device model.
+
+Logical states are represented as resistances: the low-resistive state
+(LRS) encodes logic 1, the high-resistive state (HRS) logic 0 — the
+convention of Fig. 1 in the paper.  Devices suffer the in-field fault
+classes the paper studies:
+
+* **stuck-at** — the cell can no longer switch (end-of-life); writes are
+  ignored and reads always return the stuck level;
+* **drift** — temporal variation: every switching event degrades the
+  resistance window until the cell effectively becomes stuck (the
+  degradation mechanism the paper's conclusion says must be monitored).
+
+Cells are stored as vectorized arrays (:class:`CellArray`) so the
+device-level simulator can evaluate a whole crossbar tile per step.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = ["Health", "DeviceParams", "CellArray"]
+
+
+class Health(IntEnum):
+    """Per-cell health state."""
+
+    OK = 0
+    STUCK_LRS = 1   # stuck-at-1: permanently low-resistive
+    STUCK_HRS = 2   # stuck-at-0: permanently high-resistive
+
+
+class DeviceParams:
+    """Nominal ReRAM device parameters.
+
+    Defaults are typical HfO2 ReRAM values: LRS around 10 kΩ, HRS around
+    1 MΩ, log-normal cycle-to-cycle variability, and a multiplicative
+    window-closing drift per switching event.
+    """
+
+    def __init__(self, r_lrs: float = 1e4, r_hrs: float = 1e6,
+                 variability: float = 0.05, drift_per_write: float = 0.0):
+        if r_lrs >= r_hrs:
+            raise ValueError("LRS resistance must be below HRS resistance")
+        self.r_lrs = r_lrs
+        self.r_hrs = r_hrs
+        self.variability = variability
+        self.drift_per_write = drift_per_write
+        # decision threshold of the sense amplifier (geometric mean)
+        self.r_threshold = float(np.sqrt(r_lrs * r_hrs))
+
+
+class CellArray:
+    """A vectorized array of memristor cells with health tracking.
+
+    ``shape`` is arbitrary; the crossbar uses ``(rows, cols, 4)`` — four
+    memristors per XNOR gate, as the paper assumes for MAGIC/IMPLY.
+    """
+
+    def __init__(self, shape: tuple[int, ...], params: DeviceParams | None = None,
+                 seed: int | np.random.Generator = 0):
+        self.shape = tuple(shape)
+        self.params = params if params is not None else DeviceParams()
+        self.rng = (seed if isinstance(seed, np.random.Generator)
+                    else np.random.default_rng(seed))
+        self.health = np.full(self.shape, Health.OK, dtype=np.int8)
+        self.resistance = np.full(self.shape, self.params.r_hrs, dtype=np.float64)
+        self.write_count = np.zeros(self.shape, dtype=np.int64)
+        # per-cell window-closing factor accumulated by drift
+        self._window = np.ones(self.shape, dtype=np.float64)
+
+    def subview(self, index) -> "CellArray":
+        """A CellArray sharing this array's storage for a sub-region.
+
+        Used by the gate-serial execution mode: evaluating one gate at a
+        time through a view keeps all device state (health, resistance,
+        wear) in the parent array.
+        """
+        view = CellArray.__new__(CellArray)
+        view.params = self.params
+        view.rng = self.rng
+        view.health = self.health[index]
+        view.resistance = self.resistance[index]
+        view.write_count = self.write_count[index]
+        view._window = self._window[index]
+        view.shape = view.health.shape
+        return view
+
+    # -- fault management --------------------------------------------------
+    def set_health(self, index, health: Health) -> None:
+        """Mark cells at ``index`` (any numpy index) with a health state."""
+        self.health[index] = health
+        if health == Health.STUCK_LRS:
+            self.resistance[index] = self.params.r_lrs
+        elif health == Health.STUCK_HRS:
+            self.resistance[index] = self.params.r_hrs
+
+    def healthy_fraction(self) -> float:
+        return float((self.health == Health.OK).mean())
+
+    # -- device operation -----------------------------------------------------
+    def write(self, bits: np.ndarray, index=...) -> None:
+        """Program logic levels into the selected cells.
+
+        ``bits`` holds {0, 1}; stuck cells ignore the write.  Cycle-to-cycle
+        variability perturbs the programmed resistance, and each write
+        advances drift-based degradation when enabled.
+        """
+        bits = np.asarray(bits)
+        target = np.where(bits == 1, self.params.r_lrs, self.params.r_hrs)
+        if self.params.variability > 0:
+            noise = self.rng.lognormal(0.0, self.params.variability, size=target.shape)
+            target = target * noise
+        if self.params.drift_per_write > 0:
+            self._window[index] *= (1.0 - self.params.drift_per_write)
+            # drift closes the resistance window toward the threshold
+            mid = self.params.r_threshold
+            target = mid + (target - mid) * self._window[index]
+        writable = self.health[index] == Health.OK
+        current = self.resistance[index]
+        self.resistance[index] = np.where(writable, target, current)
+        self.write_count[index] += 1
+
+    def read(self, index=...) -> np.ndarray:
+        """Sense logic levels: resistance below threshold reads as 1."""
+        levels = (self.resistance[index] < self.params.r_threshold)
+        return levels.astype(np.uint8)
+
+    #: minimum usable fraction of the original resistance window; below it
+    #: the sense amplifier can no longer discriminate the two levels and the
+    #: cell counts as end-of-life (the aging end-state behind stuck-at
+    #: faults).  ~1% contrast is a typical sense-margin floor.
+    MIN_WINDOW = 0.01
+
+    def effectively_stuck(self, index=...) -> np.ndarray:
+        """Cells whose drift-closed window is below the sense margin.
+
+        Temporal variation multiplies the HRS/LRS separation by
+        ``(1 - drift_per_write)`` on every switching event; once the
+        remaining window drops under :attr:`MIN_WINDOW`, the cell can no
+        longer be reliably read and behaves as stuck — the lifetime
+        degradation the paper's conclusion says must be monitored.
+        """
+        worn_out = self._window[index] < self.MIN_WINDOW
+        return worn_out | (self.health[index] != Health.OK)

@@ -1,0 +1,110 @@
+"""Crossbar periphery: sense amplifiers and write-verify programming.
+
+Fig. 1 of the paper shows per-line sense amplifiers (SA) reading the XNOR
+results out of the array.  LIM avoids the expensive ADCs of analog CIM,
+but the binary sense path still has two reliability-relevant behaviours
+worth modelling:
+
+* **sense margin** — an SA with input-referred offset and noise misreads
+  cells whose resistance sits too close to the decision threshold; aging
+  (window drift) pushes cells into this region *before* they become hard
+  stuck-at faults, so the SA model links the drift mechanism to the
+  transient-fault rates FLIM injects;
+* **write-verify** — production ReRAM controllers re-program cells until
+  the read-back level matches, masking weak writes at an endurance cost.
+
+Both are additive: the ideal crossbar paths stay untouched unless a
+periphery object is used explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .memristor import CellArray
+
+__all__ = ["SenseAmplifier", "WriteVerifyProgrammer"]
+
+
+@dataclass
+class SenseAmplifier:
+    """Threshold comparator with input-referred offset and noise.
+
+    ``offset_sigma`` is the per-instance static offset (drawn once per SA
+    at construction — mismatch), ``noise_sigma`` the per-read dynamic
+    noise; both in decades of resistance (log10 space, where the HRS/LRS
+    window of a healthy cell spans two decades).
+    """
+
+    offset_sigma: float = 0.05
+    noise_sigma: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self):
+        rng = np.random.default_rng(self.seed)
+        self._offset = rng.normal(0.0, self.offset_sigma)
+        self._rng = rng
+
+    def read(self, cells: CellArray, index=...) -> np.ndarray:
+        """Sense logic levels through the non-ideal comparator."""
+        resistance = cells.resistance[index]
+        log_r = np.log10(resistance)
+        threshold = np.log10(cells.params.r_threshold)
+        noise = self._rng.normal(0.0, self.noise_sigma, size=log_r.shape)
+        return (log_r + noise + self._offset < threshold).astype(np.uint8)
+
+    def misread_probability(self, cells: CellArray, index=...) -> np.ndarray:
+        """Analytic per-cell probability of reading the wrong level.
+
+        The distance of a cell's (log) resistance from the threshold,
+        reduced by the SA's static offset, sets the margin; the dynamic
+        noise Gaussian determines how often it is crossed.
+        """
+        from math import erf, sqrt
+
+        log_r = np.log10(cells.resistance[index])
+        threshold = np.log10(cells.params.r_threshold)
+        margin = np.abs(log_r + self._offset - threshold)
+        if self.noise_sigma == 0:
+            return (margin == 0).astype(float) * 0.5
+        z = margin / (self.noise_sigma * sqrt(2.0))
+        return np.array([0.5 * (1.0 - erf(v)) for v in np.atleast_1d(z)]
+                        ).reshape(np.shape(z))
+
+
+class WriteVerifyProgrammer:
+    """Program-and-verify loop: rewrite until the read-back level matches.
+
+    Returns per-cell attempt counts so endurance accounting (each retry
+    is a switching event) can feed the lifetime model.  Cells that never
+    verify within ``max_attempts`` are the ones march tests later flag.
+    """
+
+    def __init__(self, max_attempts: int = 4,
+                 sense: SenseAmplifier | None = None):
+        if max_attempts < 1:
+            raise ValueError("need at least one programming attempt")
+        self.max_attempts = max_attempts
+        self.sense = sense if sense is not None else SenseAmplifier()
+
+    def program(self, cells: CellArray, bits: np.ndarray, index=...
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """Write ``bits`` with verification.
+
+        Returns ``(verified, attempts)``: a boolean success plane and the
+        number of write pulses each cell consumed.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        attempts = np.zeros(bits.shape, dtype=np.int64)
+        verified = np.zeros(bits.shape, dtype=bool)
+        for _ in range(self.max_attempts):
+            pending = ~verified
+            if not pending.any():
+                break
+            cells.write(bits, index)  # whole-plane pulse; pending-only in HW
+            attempts[pending] += 1
+            readback = self.sense.read(cells, index)
+            verified = readback == bits
+        return verified, attempts

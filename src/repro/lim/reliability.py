@@ -1,0 +1,87 @@
+"""Lifetime reliability modelling: from device aging to fault rates.
+
+The paper classifies in-field faults by their time dependence: transient
+bit-flips from environmental variation, and stuck-at faults accumulating
+from temporal variation until end-of-life.  This module closes the loop
+between the device model and the fault-injection platform: a Weibull
+endurance model turns *device age* (executed switching cycles) into the
+stuck-cell and upset rates a :class:`~repro.core.faults.FaultSpec`
+expects, enabling accuracy-over-lifetime studies (see
+``examples/lifetime_reliability.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EnduranceModel", "LifetimePoint", "lifetime_fault_rates"]
+
+
+@dataclass(frozen=True)
+class EnduranceModel:
+    """Weibull cell-endurance model.
+
+    ``mean_cycles`` is the characteristic endurance (ReRAM: 1e6-1e12
+    switching cycles depending on technology); ``shape`` the Weibull
+    shape parameter (k > 1: wear-out dominated, the regime of temporal
+    variation).  ``upset_rate_per_cycle`` models environmental transient
+    upsets as a constant-rate process.
+    """
+
+    mean_cycles: float = 1e8
+    shape: float = 2.0
+    upset_rate_per_cycle: float = 1e-10
+
+    def __post_init__(self):
+        if self.mean_cycles <= 0 or self.shape <= 0:
+            raise ValueError("endurance parameters must be positive")
+
+    def stuck_fraction(self, cycles: float) -> float:
+        """Expected fraction of cells stuck after ``cycles`` switching events.
+
+        Weibull CDF: ``1 - exp(-(t/λ)^k)`` with λ chosen so the mean
+        equals ``mean_cycles``.
+        """
+        if cycles <= 0:
+            return 0.0
+        from math import gamma
+        scale = self.mean_cycles / gamma(1.0 + 1.0 / self.shape)
+        return float(1.0 - np.exp(-((cycles / scale) ** self.shape)))
+
+    def upset_probability(self, cycles_per_inference: float) -> float:
+        """Probability a given cell suffers a transient upset during one
+        inference window."""
+        rate = self.upset_rate_per_cycle * cycles_per_inference
+        return float(1.0 - np.exp(-rate))
+
+
+@dataclass(frozen=True)
+class LifetimePoint:
+    """Fault rates at one point of the device lifetime."""
+
+    cycles: float
+    stuck_rate: float
+    bitflip_rate: float
+
+
+def lifetime_fault_rates(model_cycles_per_inference: float,
+                         ages: list[float],
+                         endurance: EnduranceModel | None = None
+                         ) -> list[LifetimePoint]:
+    """Fault rates along a lifetime axis of cumulative switching cycles.
+
+    ``model_cycles_per_inference`` is how many times a crossbar cell
+    switches per inference (the scheduler's reuse factor times the gate
+    program's writes); ``ages`` are cumulative cycle counts.
+    """
+    if endurance is None:
+        endurance = EnduranceModel()
+    points = []
+    for age in ages:
+        points.append(LifetimePoint(
+            cycles=age,
+            stuck_rate=endurance.stuck_fraction(age),
+            bitflip_rate=endurance.upset_probability(model_cycles_per_inference)))
+    return points

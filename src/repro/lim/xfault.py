@@ -1,0 +1,172 @@
+"""Device-level BNN execution on memristive crossbars — the X-Fault baseline.
+
+This simulator plays the role of X-Fault [9] in the paper: the most
+detailed end-to-end fault-injection path, evaluating every XNOR operation
+through the 4-memristor gate model (:mod:`repro.lim.gates`) on an explicit
+tile schedule (:mod:`repro.lim.scheduler`).  It is deliberately slow —
+that is its scientific purpose here: Fig. 4f measures how many orders of
+magnitude the FLIM abstraction gains over exactly this level of detail.
+
+Faults are injected directly on the per-layer :class:`Crossbar` objects
+(``simulator.crossbar_for(layer)``), so corruption emerges mechanistically
+from gate evaluation rather than from mask arithmetic.  With no faults and
+device variability disabled, the simulator is bit-exact against the numpy
+fast path — the equivalence the paper verifies between FLIM and vanilla
+Larq/X-Fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..binary.layers import QuantConv2D, QuantDense, QuantLayer
+from ..nn import ops
+from ..nn.model import Sequential
+from .crossbar import Crossbar, CrossbarConfig
+from .memristor import DeviceParams
+
+__all__ = ["XFaultSimulator", "ideal_device_params"]
+
+
+def ideal_device_params() -> DeviceParams:
+    """Device parameters with variability disabled (bit-exact verification)."""
+    return DeviceParams(variability=0.0, drift_per_write=0.0)
+
+
+class XFaultSimulator:
+    """Runs a built Sequential BNN with mapped layers on crossbar hardware.
+
+    Parameters
+    ----------
+    model:
+        A built :class:`~repro.nn.model.Sequential`.  Layers whose
+        ``is_mapped`` property is true execute on a per-layer crossbar
+        ("each layer is mapped onto a single crossbar", §IV); everything
+        else runs in CMOS, i.e. plain numpy.
+    config:
+        Crossbar geometry/device template; each layer gets its own
+        instance (with a distinct seed).
+    """
+
+    def __init__(self, model: Sequential, config: CrossbarConfig | None = None,
+                 gate_serial: bool = False):
+        if not model.built:
+            raise ValueError("model must be built before simulation")
+        self.model = model
+        self.config = config if config is not None else CrossbarConfig()
+        #: evaluate gates one at a time (X-Fault's per-memristor cost
+        #: model) instead of vectorizing over the tile
+        self.gate_serial = gate_serial
+        self.crossbars: dict[str, Crossbar] = {}
+        for offset, layer in enumerate(self._mapped_layers()):
+            layer_config = replace(self.config, seed=self.config.seed + offset)
+            self.crossbars[layer.name] = Crossbar(layer_config)
+        #: running count of crossbar evaluations (performance accounting)
+        self.step_count = 0
+
+    def _mapped_layers(self) -> list[QuantLayer]:
+        return [layer for layer in self.model.layers_of_type(QuantLayer)
+                if layer.is_mapped]
+
+    def crossbar_for(self, layer_or_name) -> Crossbar:
+        """The crossbar instance executing a given mapped layer."""
+        name = layer_or_name if isinstance(layer_or_name, str) else layer_or_name.name
+        try:
+            return self.crossbars[name]
+        except KeyError:
+            raise KeyError(f"layer {name!r} is not mapped to a crossbar") from None
+
+    # -- execution -------------------------------------------------------
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Full forward pass; mapped layers execute on the device model."""
+        for layer in self.model.layers:
+            if isinstance(layer, QuantLayer) and layer.name in self.crossbars:
+                x = self._run_mapped(layer, x)
+            else:
+                x = layer.forward(x, training=False)
+        return x
+
+    def _run_mapped(self, layer: QuantLayer, x: np.ndarray) -> np.ndarray:
+        qx = layer.input_quantizer.quantize(x)
+        if isinstance(layer, QuantConv2D):
+            cols, (oh, ow) = ops.im2col(
+                qx, layer.kernel_size, layer.kernel_size,
+                layer.stride, layer.padding)
+            kernel = layer.params["kernel"]
+            qw = layer.kernel_quantizer.quantize(kernel).reshape(
+                -1, layer.filters)
+            out_flat = self._gemm_on_crossbar(layer, cols, qw, batch=x.shape[0])
+            out = out_flat.reshape(x.shape[0], oh, ow, layer.filters)
+        elif isinstance(layer, QuantDense):
+            qw = layer.kernel_quantizer.quantize(layer.params["kernel"])
+            out = self._gemm_on_crossbar(layer, qx, qw, batch=x.shape[0])
+        else:
+            raise TypeError(f"unsupported mapped layer type {type(layer)!r}")
+        if layer.use_bias:
+            out = out + layer.params["bias"]
+        return out
+
+    def _gemm_on_crossbar(self, layer: QuantLayer, cols: np.ndarray,
+                          qw: np.ndarray, batch: int) -> np.ndarray:
+        """Binary GEMM ``cols @ qw`` evaluated gate-by-gate on the crossbar.
+
+        ``cols`` is ``(batch*P, K)`` bipolar (with zeros at padding
+        positions), ``qw`` is ``(K, F)`` bipolar.  Padding terms are never
+        scheduled: their contribution stays zero even under faults.
+        """
+        crossbar = self.crossbars[layer.name]
+        from .scheduler import TileSchedule
+
+        total_rows, terms = cols.shape
+        filters = qw.shape[1]
+        positions = total_rows // batch
+        schedule = TileSchedule(positions=positions, terms=terms, filters=filters,
+                                rows=crossbar.rows, cols=crossbar.cols)
+        valid = cols != 0                      # padding mask (see docstring)
+        x_bits = (cols > 0).astype(np.uint8)   # bipolar -> logic level
+        w_bits = (qw > 0).astype(np.uint8)
+        acc = np.zeros((total_rows, filters), dtype=np.float32)
+
+        a_tile = np.zeros((crossbar.rows, crossbar.cols), dtype=np.uint8)
+        b_tile = np.zeros((crossbar.rows, crossbar.cols), dtype=np.uint8)
+        for image in range(batch):
+            base = image * positions
+            for tile in range(schedule.tiles):
+                term_idx, chan_idx = schedule.tile_blocks(tile)
+                rows_used = len(term_idx)
+                cols_used = len(chan_idx)
+                b_tile[:rows_used, :cols_used] = w_bits[np.ix_(term_idx, chan_idx)]
+                compute = (crossbar.compute_xnor_serial if self.gate_serial
+                           else crossbar.compute_xnor)
+                for position in range(positions):
+                    row = base + position
+                    a_tile[:rows_used, :cols_used] = x_bits[row, term_idx][:, None]
+                    out_bits = compute(a_tile, b_tile)
+                    self.step_count += 1
+                    products = out_bits[:rows_used, :cols_used].astype(np.float32)
+                    products = products * 2.0 - 1.0
+                    products *= valid[row, term_idx][:, None]
+                    acc[row, chan_idx] += products.sum(axis=0)
+        return acc
+
+    # -- accounting --------------------------------------------------------
+    def total_xnor_ops(self, batch: int = 1) -> int:
+        """XNOR ops the mapped layers issue for ``batch`` images."""
+        return batch * sum(layer.xnor_ops_per_image()
+                           for layer in self._mapped_layers())
+
+    def driver_steps(self, batch: int = 1) -> int:
+        """Gate-program driver steps for ``batch`` images (runtime model)."""
+        total = 0
+        for layer in self._mapped_layers():
+            crossbar = self.crossbars[layer.name]
+            from .scheduler import TileSchedule
+            schedule = TileSchedule(
+                positions=layer.positions_per_image(),
+                terms=layer.reduction_length(),
+                filters=layer.output_channels,
+                rows=crossbar.rows, cols=crossbar.cols)
+            total += schedule.steps * crossbar.gate.steps_per_op
+        return total * batch

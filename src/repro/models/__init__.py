@@ -1,0 +1,15 @@
+"""Model zoo: binary LeNet (Fig. 4) and the nine Table-II architectures."""
+
+from .blocks import (DenseBinaryBlock, ImprovementBlock, RealToBinaryBlock,
+                     ResidualBinaryBlock)
+from .lenet import LENET_MAPPED_LAYERS, build_lenet
+from .stats import ModelStats, compute_stats, format_count
+from .zoo import (MODEL_BUILDERS, MODEL_PAPER_STATS, build_model, model_names)
+
+__all__ = [
+    "build_lenet", "LENET_MAPPED_LAYERS",
+    "ResidualBinaryBlock", "DenseBinaryBlock", "ImprovementBlock",
+    "RealToBinaryBlock",
+    "MODEL_BUILDERS", "MODEL_PAPER_STATS", "build_model", "model_names",
+    "ModelStats", "compute_stats", "format_count",
+]

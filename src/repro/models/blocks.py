@@ -1,0 +1,201 @@
+"""Composite blocks for the Table-II architecture families.
+
+Each block is a composite :class:`~repro.nn.layers.Layer` owning its
+sub-layers (discovered through :meth:`sub_layers` for parameter traversal)
+and implementing forward/backward across the non-sequential topology —
+identity shortcuts (ResNet/Bi-Real/Real-to-Binary), channel concatenation
+(BinaryDenseNet), and feature improvement (MeliusNet).
+
+All blocks keep the spatial size (stride 1, SAME padding); downsampling
+happens between stages via pooling layers, as in the Binary DenseNet and
+ResNetE papers' binary-friendly variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..binary.layers import QuantConv2D
+from ..nn.layers import BatchNorm, ChannelScale, Layer
+
+__all__ = ["ResidualBinaryBlock", "DenseBinaryBlock", "ImprovementBlock",
+           "RealToBinaryBlock"]
+
+
+class _CompositeBlock(Layer):
+    """Shared plumbing: a binary conv + batch-norm branch."""
+
+    def __init__(self, filters: int, kernel_size: int = 3,
+                 input_quantizer="ste_sign", kernel_quantizer="ste_sign",
+                 name: str | None = None):
+        super().__init__(name)
+        self.filters = filters
+        self.conv = QuantConv2D(
+            filters, kernel_size, padding="same",
+            input_quantizer=input_quantizer, kernel_quantizer=kernel_quantizer,
+            name=f"{self.name}_conv")
+        self.bn = BatchNorm(name=f"{self.name}_bn")
+
+    def sub_layers(self):
+        return [self.conv, self.bn]
+
+    def _build_branch(self, input_shape, rng):
+        self.conv.build(input_shape, rng)
+        branch_shape = self.conv.compute_output_shape(input_shape)
+        self.bn.build(branch_shape, rng)
+        return branch_shape
+
+    def _branch_forward(self, x, training):
+        return self.bn.forward(self.conv.forward(x, training), training)
+
+    def _branch_backward(self, dout):
+        return self.conv.backward(self.bn.backward(dout))
+
+
+class ResidualBinaryBlock(_CompositeBlock):
+    """``out = BN(QuantConv(x)) + shortcut(x)`` — the ResNetE/Bi-Real block.
+
+    When the block grows the channel count, the shortcut zero-pads new
+    channels (the parameter-free option of ResNetE).  Bi-Real Net uses the
+    same topology with the ApproxSign input quantizer.
+    """
+
+    def build(self, input_shape, rng):
+        self.in_channels = input_shape[-1]
+        if self.filters < self.in_channels:
+            raise ValueError(
+                f"{self.name}: filters ({self.filters}) must be >= input "
+                f"channels ({self.in_channels}) for a zero-padded shortcut")
+        self._build_branch(input_shape, rng)
+        super(_CompositeBlock, self).build(input_shape, rng)
+
+    def compute_output_shape(self, input_shape):
+        h, w, _ = input_shape
+        return (h, w, self.filters)
+
+    def forward(self, x, training=False):
+        branch = self._branch_forward(x, training)
+        if self.filters == self.in_channels:
+            shortcut = x
+        else:
+            pad = self.filters - self.in_channels
+            shortcut = np.pad(x, ((0, 0), (0, 0), (0, 0), (0, pad)))
+        return branch + shortcut
+
+    def backward(self, dout):
+        dx = self._branch_backward(dout)
+        return dx + dout[..., :self.in_channels]
+
+
+class DenseBinaryBlock(_CompositeBlock):
+    """``out = concat([x, BN(QuantConv(x))])`` — the BinaryDenseNet block.
+
+    Dense connectivity re-uses all earlier feature maps, which is the
+    mechanism behind the DenseNet family's fault resilience: a corrupted
+    layer output is only one of many concatenated feature groups.
+    """
+
+    def __init__(self, growth: int, kernel_size: int = 3,
+                 input_quantizer="ste_sign", name: str | None = None):
+        super().__init__(growth, kernel_size, input_quantizer, name=name)
+        self.growth = growth
+
+    def build(self, input_shape, rng):
+        self.in_channels = input_shape[-1]
+        self._build_branch(input_shape, rng)
+        super(_CompositeBlock, self).build(input_shape, rng)
+
+    def compute_output_shape(self, input_shape):
+        h, w, c = input_shape
+        return (h, w, c + self.growth)
+
+    def forward(self, x, training=False):
+        branch = self._branch_forward(x, training)
+        return np.concatenate([x, branch], axis=-1)
+
+    def backward(self, dout):
+        direct = dout[..., :self.in_channels]
+        branch = dout[..., self.in_channels:]
+        return direct + self._branch_backward(branch)
+
+
+class ImprovementBlock(_CompositeBlock):
+    """MeliusNet improvement block: refine the newest ``delta`` channels.
+
+    ``out[..., -delta:] += BN(QuantConv(x, delta))`` — instead of adding
+    ever more channels, the block improves the quality of those a
+    preceding dense block just appended.
+    """
+
+    def __init__(self, delta: int, kernel_size: int = 3,
+                 input_quantizer="ste_sign", name: str | None = None):
+        super().__init__(delta, kernel_size, input_quantizer, name=name)
+        self.delta = delta
+
+    def build(self, input_shape, rng):
+        if input_shape[-1] < self.delta:
+            raise ValueError(
+                f"{self.name}: needs at least {self.delta} input channels")
+        self._build_branch(input_shape, rng)
+        super(_CompositeBlock, self).build(input_shape, rng)
+
+    def compute_output_shape(self, input_shape):
+        return input_shape
+
+    def forward(self, x, training=False):
+        branch = self._branch_forward(x, training)
+        out = x.copy()
+        out[..., -self.delta:] += branch
+        return out
+
+    def backward(self, dout):
+        dx = dout.copy()
+        dx += self._pad_branch_gradient(self._branch_backward(dout[..., -self.delta:]))
+        return dx
+
+    def _pad_branch_gradient(self, dbranch):
+        return dbranch
+
+
+class RealToBinaryBlock(_CompositeBlock):
+    """Real-to-Binary residual block: binary conv re-scaled by real gains.
+
+    ``out = Scale(BN(QuantConv(x))) + shortcut(x)`` — the per-channel
+    real-valued scale recovers part of the information lost to
+    binarization (the paper's "real-to-binary convolutions"); it executes
+    in CMOS, so crossbar faults never touch it.
+    """
+
+    def __init__(self, filters: int, kernel_size: int = 3,
+                 input_quantizer="ste_sign", name: str | None = None):
+        super().__init__(filters, kernel_size, input_quantizer, name=name)
+        self.scale = ChannelScale(name=f"{self.name}_scale")
+
+    def sub_layers(self):
+        return [self.conv, self.bn, self.scale]
+
+    def build(self, input_shape, rng):
+        self.in_channels = input_shape[-1]
+        if self.filters < self.in_channels:
+            raise ValueError(
+                f"{self.name}: filters must be >= input channels")
+        branch_shape = self._build_branch(input_shape, rng)
+        self.scale.build(branch_shape, rng)
+        super(_CompositeBlock, self).build(input_shape, rng)
+
+    def compute_output_shape(self, input_shape):
+        h, w, _ = input_shape
+        return (h, w, self.filters)
+
+    def forward(self, x, training=False):
+        branch = self.scale.forward(self._branch_forward(x, training), training)
+        if self.filters == self.in_channels:
+            shortcut = x
+        else:
+            pad = self.filters - self.in_channels
+            shortcut = np.pad(x, ((0, 0), (0, 0), (0, 0), (0, pad)))
+        return branch + shortcut
+
+    def backward(self, dout):
+        dx = self._branch_backward(self.scale.backward(dout))
+        return dx + dout[..., :self.in_channels]

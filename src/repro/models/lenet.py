@@ -1,0 +1,56 @@
+"""Binary LeNet — the workload of the paper's layer-resilience study.
+
+"We use a binary version of LeNet trained on the MNIST dataset ...
+consists of three convolutional layers and two dense layers" (§IV).  The
+first convolution consumes real-valued grey-scale pixels, so it executes
+in CMOS (X-Fault's conservative approach); the four remaining layers —
+``conv1``, ``conv2``, ``dense0``, ``dense1``, exactly the legend of the
+paper's Fig. 4a — are fully binarized and LIM-mapped.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from ..binary import QuantConv2D, QuantDense
+
+__all__ = ["build_lenet", "LENET_MAPPED_LAYERS"]
+
+#: the crossbar-mapped layer names, in execution order (Fig. 4a legend)
+LENET_MAPPED_LAYERS = ("conv1", "conv2", "dense0", "dense1")
+
+
+def build_lenet(input_shape: tuple[int, int, int] = (28, 28, 1),
+                num_classes: int = 10, seed: int = 0,
+                width: int = 8) -> nn.Sequential:
+    """Build and initialize the binary LeNet.
+
+    ``width`` scales every channel count; the default (8) gives a ~20k
+    parameter model that trains to the high 90s on the synthetic MNIST in
+    under a minute of CPU time.
+    """
+    model = nn.Sequential([
+        # conv0: real-valued input, binary kernel -> CMOS, not mapped
+        QuantConv2D(width, 5, padding="valid", kernel_quantizer="ste_sign",
+                    name="conv0"),
+        nn.MaxPool2D(2),
+        nn.BatchNorm(name="bn0"),
+        # conv1: fully binary -> mapped
+        QuantConv2D(2 * width, 5, padding="valid", input_quantizer="ste_sign",
+                    kernel_quantizer="ste_sign", name="conv1"),
+        nn.MaxPool2D(2),
+        nn.BatchNorm(name="bn1"),
+        # conv2: fully binary -> mapped
+        QuantConv2D(4 * width, 3, padding="valid", input_quantizer="ste_sign",
+                    kernel_quantizer="ste_sign", name="conv2"),
+        nn.BatchNorm(name="bn2"),
+        nn.Flatten(),
+        # dense0 / dense1: fully binary -> mapped
+        QuantDense(8 * width, input_quantizer="ste_sign",
+                   kernel_quantizer="ste_sign", name="dense0"),
+        nn.BatchNorm(name="bn3"),
+        QuantDense(num_classes, input_quantizer="ste_sign",
+                   kernel_quantizer="ste_sign", name="dense1"),
+        nn.BatchNorm(name="bn4"),
+    ], name="binary_lenet")
+    model.build(input_shape, seed=seed)
+    return model

@@ -1,0 +1,20 @@
+"""Numpy neural-network engine — the TensorFlow/Keras substitute.
+
+Provides NHWC convolutions, dense layers, batch-norm, pooling, a sequential
+model container and a training loop with straight-through-estimator support
+for binarized networks.
+"""
+
+from . import initializers, losses, ops, optimizers
+from .layers import (AvgPool2D, BatchNorm, ChannelScale, Conv2D, Dense,
+                     Flatten, GlobalAvgPool2D, Layer, MaxPool2D, ReLU, Sign)
+from .model import Sequential
+from .optimizers import SGD, Adam
+from .training import Trainer, TrainingHistory
+
+__all__ = [
+    "ops", "initializers", "losses", "optimizers",
+    "Layer", "Conv2D", "Dense", "BatchNorm", "ReLU", "Sign",
+    "MaxPool2D", "AvgPool2D", "GlobalAvgPool2D", "Flatten", "ChannelScale",
+    "Sequential", "SGD", "Adam", "Trainer", "TrainingHistory",
+]

@@ -1,0 +1,63 @@
+"""Weight initializers.
+
+Each initializer is a callable ``(shape, rng) -> ndarray`` so layers stay
+agnostic of the scheme and experiments stay reproducible by threading a
+seeded :class:`numpy.random.Generator` through construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "ones", "get"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # dense: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv: (kh, kw, c_in, c_out)
+        receptive = shape[0] * shape[1]
+        return receptive * shape[2], receptive * shape[3]
+    size = int(np.prod(shape))
+    return size, size
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — Larq's default kernel initializer."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initializer, appropriate before ReLU non-linearities."""
+    fan_in, _ = _fan_in_out(shape)
+    return (rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+_REGISTRY = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get(name_or_fn):
+    """Resolve an initializer by name, passing callables through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _REGISTRY[name_or_fn]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name_or_fn!r}; "
+            f"known: {sorted(_REGISTRY)}") from None

@@ -1,0 +1,46 @@
+"""Loss functions.
+
+Each loss returns ``(value, gradient_wrt_logits)`` so the training loop can
+seed backpropagation without a separate backward call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy", "hinge_loss"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray
+                          ) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy of integer ``labels`` against ``logits``.
+
+    Returns the scalar loss and its gradient w.r.t. the logits.
+    """
+    n = logits.shape[0]
+    probs = softmax(logits)
+    clipped = np.clip(probs[np.arange(n), labels], 1e-12, None)
+    loss = float(-np.log(clipped).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def hinge_loss(logits: np.ndarray, labels: np.ndarray,
+               margin: float = 1.0) -> tuple[float, np.ndarray]:
+    """Multi-class hinge loss (Crammer-Singer), occasionally used for BNNs."""
+    n = logits.shape[0]
+    correct = logits[np.arange(n), labels][:, None]
+    margins = np.maximum(0.0, logits - correct + margin)
+    margins[np.arange(n), labels] = 0.0
+    loss = float(margins.sum() / n)
+    grad = (margins > 0).astype(logits.dtype)
+    grad[np.arange(n), labels] = -grad.sum(axis=1)
+    return loss, grad / n

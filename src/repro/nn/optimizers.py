@@ -1,0 +1,75 @@
+"""Gradient-descent optimizers operating on layer ``params``/``grads`` dicts.
+
+Optimizers keep per-parameter state keyed by ``(layer_name, param_name)``
+so the same instance can drive a whole model discovered by recursive layer
+traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer.  ``step`` consumes a list of layers post-backward."""
+
+    def __init__(self, learning_rate: float = 0.01):
+        self.learning_rate = learning_rate
+
+    def step(self, layers) -> None:
+        for layer in layers:
+            if not layer.trainable:
+                continue
+            for key, param in layer.params.items():
+                grad = layer.grads[key]
+                self._update((layer.name, key), param, grad)
+
+    def _update(self, state_key, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.9):
+        super().__init__(learning_rate)
+        self.momentum = momentum
+        self._velocity: dict = {}
+
+    def _update(self, state_key, param, grad):
+        velocity = self._velocity.get(state_key)
+        if velocity is None:
+            velocity = np.zeros_like(param)
+            self._velocity[state_key] = velocity
+        velocity *= self.momentum
+        velocity -= self.learning_rate * grad
+        param += velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) — the usual choice for training BNN latent weights."""
+
+    def __init__(self, learning_rate: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8):
+        super().__init__(learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict = {}
+        self._v: dict = {}
+        self._t: dict = {}
+
+    def _update(self, state_key, param, grad):
+        m = self._m.setdefault(state_key, np.zeros_like(param))
+        v = self._v.setdefault(state_key, np.zeros_like(param))
+        t = self._t.get(state_key, 0) + 1
+        self._t[state_key] = t
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

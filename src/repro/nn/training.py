@@ -1,0 +1,73 @@
+"""Minimal training loop for the numpy engine.
+
+BNN training follows the latent-weight scheme: full-precision weights are
+updated by the optimizer while the forward pass binarizes them through the
+straight-through estimator implemented in :mod:`repro.binary.quantizers`.
+The loop itself is oblivious to binarization — it only needs forward,
+loss gradient, backward, optimizer step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import losses
+from .model import Sequential
+from .optimizers import Adam, Optimizer
+
+__all__ = ["Trainer", "TrainingHistory"]
+
+
+class TrainingHistory:
+    """Per-epoch metrics recorded by :class:`Trainer.fit`."""
+
+    def __init__(self):
+        self.train_loss: list[float] = []
+        self.train_accuracy: list[float] = []
+        self.val_accuracy: list[float] = []
+
+    def __repr__(self):
+        last_loss = self.train_loss[-1] if self.train_loss else None
+        last_val = self.val_accuracy[-1] if self.val_accuracy else None
+        return f"<TrainingHistory epochs={len(self.train_loss)} loss={last_loss} val={last_val}>"
+
+
+class Trainer:
+    """Mini-batch trainer with shuffling and optional validation tracking."""
+
+    def __init__(self, optimizer: Optimizer | None = None, loss=losses.softmax_cross_entropy,
+                 seed: int = 0):
+        self.optimizer = optimizer if optimizer is not None else Adam(1e-3)
+        self.loss = loss
+        self.rng = np.random.default_rng(seed)
+
+    def fit(self, model: Sequential, x: np.ndarray, y: np.ndarray,
+            epochs: int = 5, batch_size: int = 64,
+            x_val: np.ndarray | None = None, y_val: np.ndarray | None = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Train ``model`` in place and return the metric history."""
+        history = TrainingHistory()
+        layers = model.all_layers()
+        for epoch in range(epochs):
+            order = self.rng.permutation(len(x))
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, len(x), batch_size):
+                batch = order[start:start + batch_size]
+                xb, yb = x[batch], y[batch]
+                logits = model.forward(xb, training=True)
+                loss_value, grad = self.loss(logits, yb)
+                model.backward(grad)
+                self.optimizer.step(layers)
+                epoch_loss += loss_value * len(batch)
+                correct += int((logits.argmax(axis=-1) == yb).sum())
+            history.train_loss.append(epoch_loss / len(x))
+            history.train_accuracy.append(correct / len(x))
+            if x_val is not None:
+                history.val_accuracy.append(model.evaluate(x_val, y_val))
+            if verbose:
+                val = f" val_acc={history.val_accuracy[-1]:.4f}" if x_val is not None else ""
+                print(f"epoch {epoch + 1}/{epochs} "
+                      f"loss={history.train_loss[-1]:.4f} "
+                      f"acc={history.train_accuracy[-1]:.4f}{val}")
+        return history

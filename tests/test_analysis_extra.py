@@ -1,0 +1,59 @@
+"""Edge-case tests for the analysis helpers and SweepResult aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_plot
+from repro.core import SweepResult
+
+
+def make_result():
+    accuracies = np.array([[0.9, 1.0, 0.8],
+                           [0.5, 0.4, 0.6]])
+    return SweepResult(label="demo", xs=[0.0, 0.3], accuracies=accuracies,
+                       baseline=0.95)
+
+
+def test_sweep_result_statistics():
+    result = make_result()
+    np.testing.assert_allclose(result.mean(), [0.9, 0.5])
+    np.testing.assert_allclose(result.min(), [0.8, 0.4])
+    np.testing.assert_allclose(result.max(), [1.0, 0.6])
+    assert result.std()[0] == pytest.approx(np.std([0.9, 1.0, 0.8]))
+
+
+def test_sweep_result_rows():
+    rows = make_result().as_rows()
+    assert rows[0][0] == 0.0
+    assert rows[0][1] == pytest.approx(0.9)
+    assert rows[1][2] == pytest.approx(np.std([0.5, 0.4, 0.6]))
+
+
+def test_sweep_result_repr_compact():
+    text = repr(make_result())
+    assert "demo" in text
+    assert "0.9" in text
+
+
+def test_ascii_plot_constant_series():
+    """Degenerate (flat) series must not divide by zero."""
+    text = ascii_plot({"flat": ([0, 1, 2], [5.0, 5.0, 5.0])})
+    assert "o" in text
+
+
+def test_ascii_plot_single_point():
+    text = ascii_plot({"dot": ([1.0], [2.0])})
+    assert "o" in text
+
+
+def test_ascii_plot_respects_y_range():
+    text = ascii_plot({"s": ([0, 1], [10, 90])}, y_range=(0.0, 100.0))
+    assert "100" in text
+    assert text.splitlines()[-2].strip().startswith("0")
+
+
+def test_ascii_plot_many_series_markers_cycle():
+    series = {f"s{i}": ([0, 1], [i, i + 1]) for i in range(10)}
+    text = ascii_plot(series)
+    # marker alphabet has 8 symbols; 10 series must still render
+    assert "s9" in text

@@ -1,0 +1,136 @@
+"""Tests for QuantConv2D / QuantDense: arithmetic, hooks, geometry."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import (MagnitudeAwareSign, QuantConv2D, QuantDense,
+                          SteSign, bitops)
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+def test_quantdense_matches_bitexact_kernel(rng):
+    layer = build(QuantDense(8, input_quantizer="ste_sign"), (32,))
+    x = rng.standard_normal((5, 32)).astype(np.float32)
+    out = layer.forward(x)
+    qx = np.where(x >= 0, 1.0, -1.0).astype(np.float32)
+    qw = np.where(layer.params["kernel"] >= 0, 1.0, -1.0).astype(np.float32)
+    np.testing.assert_array_equal(out, bitops.binary_matmul(qx, qw).astype(np.float32))
+
+
+def test_quantconv_output_is_integer_valued(rng):
+    layer = build(QuantConv2D(4, 3, input_quantizer="ste_sign"), (8, 8, 2))
+    x = rng.standard_normal((2, 8, 8, 2)).astype(np.float32)
+    out = layer.forward(x)
+    np.testing.assert_array_equal(out, np.round(out))
+    # popcount parity: output of a K-term bipolar sum has K's parity
+    k = layer.reduction_length()
+    assert ((out.astype(int) - k) % 2 == 0).all()
+
+
+def test_quantconv_preactivation_bounds(rng):
+    layer = build(QuantConv2D(4, 3, input_quantizer="ste_sign"), (8, 8, 2))
+    x = rng.standard_normal((2, 8, 8, 2)).astype(np.float32)
+    out = layer.forward(x)
+    assert np.abs(out).max() <= layer.reduction_length()
+
+
+def test_output_fault_hook_invoked(rng):
+    layer = build(QuantConv2D(4, 3, input_quantizer="ste_sign"), (8, 8, 2))
+    x = rng.standard_normal((1, 8, 8, 2)).astype(np.float32)
+    clean = layer.forward(x)
+    calls = []
+
+    def hook(out, owner):
+        calls.append(owner.name)
+        return -out
+
+    layer.output_fault_hook = hook
+    faulty = layer.forward(x)
+    np.testing.assert_array_equal(faulty, -clean)
+    assert calls == [layer.name]
+    layer.clear_fault_hooks()
+    np.testing.assert_array_equal(layer.forward(x), clean)
+
+
+def test_kernel_fault_hook_sees_binary_kernel(rng):
+    layer = build(QuantDense(4), (16,))
+    seen = {}
+
+    def hook(qkernel, owner):
+        seen["values"] = set(np.unique(qkernel))
+        return qkernel
+
+    layer.kernel_fault_hook = hook
+    x = np.where(rng.standard_normal((2, 16)) >= 0, 1.0, -1.0).astype(np.float32)
+    layer.forward(x)
+    assert seen["values"] <= {-1.0, 1.0}
+
+
+def test_magnitude_aware_kernel_hook_gets_sign_part(rng):
+    layer = build(QuantDense(4, kernel_quantizer=MagnitudeAwareSign()), (16,))
+    seen = {}
+
+    def hook(qkernel, owner):
+        seen["values"] = set(np.unique(qkernel))
+        return qkernel
+
+    layer.kernel_fault_hook = hook
+    x = rng.standard_normal((2, 16)).astype(np.float32)
+    layer.forward(x)
+    # hook must see the crossbar-resident sign part, not the scaled weights
+    assert seen["values"] <= {-1.0, 1.0}
+
+
+def test_is_mapped_logic():
+    assert QuantConv2D(4, 3, input_quantizer="ste_sign").is_mapped
+    # first-layer style: real-valued input -> CMOS, not crossbar
+    assert not QuantConv2D(4, 3).is_mapped
+    assert not QuantConv2D(4, 3, kernel_quantizer=None).is_mapped
+
+
+def test_geometry_counts():
+    conv = build(QuantConv2D(8, 3, padding="same", input_quantizer="ste_sign"),
+                 (16, 16, 4))
+    assert conv.reduction_length() == 3 * 3 * 4
+    assert conv.outputs_per_image() == 16 * 16 * 8
+    assert conv.xnor_ops_per_image() == 36 * 16 * 16 * 8
+
+    dense = build(QuantDense(10, input_quantizer="ste_sign"), (128,))
+    assert dense.reduction_length() == 128
+    assert dense.outputs_per_image() == 10
+    assert dense.xnor_ops_per_image() == 1280
+
+
+def test_param_binarization_counts():
+    conv = build(QuantConv2D(8, 3), (8, 8, 2))
+    assert conv.binary_param_count() == 3 * 3 * 2 * 8
+    assert conv.full_precision_param_count() == 0
+    fp_conv = build(QuantConv2D(8, 3, kernel_quantizer=None, use_bias=True), (8, 8, 2))
+    assert fp_conv.binary_param_count() == 0
+    assert fp_conv.full_precision_param_count() == 3 * 3 * 2 * 8 + 8
+
+
+def test_quant_layers_train_with_ste(rng):
+    """A fully binarized MLP must be trainable via latent weights.
+
+    Majority vote over bipolar inputs is exactly representable by a single
+    binary neuron, so optimization through the STE must recover it.
+    """
+    n = 300
+    x = rng.choice([-1.0, 1.0], size=(n, 9)).astype(np.float32)
+    y = (x.sum(axis=1) > 0).astype(int)
+    model = nn.Sequential([
+        QuantDense(32, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(2, input_quantizer=None, kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+    ]).build((9,), seed=0)
+    trainer = nn.Trainer(nn.Adam(0.01), seed=0)
+    history = trainer.fit(model, x, y, epochs=30, batch_size=32)
+    assert history.train_accuracy[-1] > 0.95

@@ -1,0 +1,63 @@
+"""Tests for the quantizer family."""
+
+import numpy as np
+import pytest
+
+from repro.binary import quantizers
+
+
+def test_ste_sign_bipolar_output(rng):
+    q = quantizers.SteSign()
+    out = q.quantize(rng.standard_normal(100))
+    assert set(np.unique(out)) <= {-1.0, 1.0}
+    assert q.quantize(np.array([0.0]))[0] == 1.0
+
+
+def test_ste_sign_gradient_clips():
+    q = quantizers.SteSign()
+    latent = np.array([-3.0, -1.0, 0.0, 1.0, 3.0])
+    grad = q.grad(latent, np.ones_like(latent))
+    np.testing.assert_array_equal(grad, [0.0, 1.0, 1.0, 1.0, 0.0])
+
+
+def test_approx_sign_gradient_shape():
+    q = quantizers.ApproxSign()
+    latent = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+    grad = q.grad(latent, np.ones_like(latent))
+    np.testing.assert_allclose(grad, [0.0, 1.0, 2.0, 1.0, 0.0])
+
+
+def test_approx_sign_is_strictly_binary(rng):
+    q = quantizers.ApproxSign()
+    out = q.quantize(rng.standard_normal(50))
+    assert set(np.unique(out)) <= {-1.0, 1.0}
+    assert q.strictly_binary
+
+
+def test_magnitude_aware_not_strictly_binary(rng):
+    q = quantizers.MagnitudeAwareSign()
+    w = rng.standard_normal((3, 3, 2, 4))
+    out = q.quantize(w)
+    assert not q.strictly_binary
+    # per-output-channel constant magnitude
+    mags = np.abs(out).reshape(-1, 4)
+    for c in range(4):
+        assert np.allclose(mags[:, c], mags[0, c])
+
+
+def test_magnitude_aware_split_recomposes(rng):
+    q = quantizers.MagnitudeAwareSign()
+    w = rng.standard_normal((3, 3, 2, 4)).astype(np.float32)
+    binary, gain = q.split(w)
+    assert set(np.unique(binary)) <= {-1.0, 1.0}
+    np.testing.assert_allclose(binary * gain, q.quantize(w), rtol=1e-6)
+
+
+def test_get_by_name_and_passthrough():
+    assert isinstance(quantizers.get("ste_sign"), quantizers.SteSign)
+    assert isinstance(quantizers.get("approx_sign"), quantizers.ApproxSign)
+    assert quantizers.get(None) is None
+    inst = quantizers.SteSign()
+    assert quantizers.get(inst) is inst
+    with pytest.raises(ValueError):
+        quantizers.get("nope")

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_report_lenet(capsys):
+    code, out = run_cli(capsys, "report", "--model", "lenet",
+                        "--rows", "8", "--cols", "4")
+    assert code == 0
+    for name in ("conv1", "conv2", "dense0", "dense1"):
+        assert name in out
+    assert "reuse" in out
+
+
+def test_vectors_and_inspect_roundtrip(capsys, tmp_path):
+    path = str(tmp_path / "plan.flim")
+    code, out = run_cli(capsys, "vectors", path, "--model", "lenet",
+                        "--fault", "bitflip", "--rate", "0.2",
+                        "--rows", "8", "--cols", "4", "--seed", "3")
+    assert code == 0
+    assert "4 layer records" in out
+
+    code, out = run_cli(capsys, "inspect", path)
+    assert code == 0
+    assert "conv1" in out
+    assert "8x4" in out
+
+
+def test_vectors_stuck_at(capsys, tmp_path):
+    path = str(tmp_path / "stuck.flim")
+    code, out = run_cli(capsys, "vectors", path, "--fault", "stuck_at",
+                        "--rate", "0.1", "--rows", "8", "--cols", "4")
+    assert code == 0
+    from repro.core import load_fault_vectors
+    plan = load_fault_vectors(path)
+    assert all(m.stuck_mask.sum() == round(0.1 * 32) for m in plan.values())
+
+
+def test_vectors_faulty_columns(capsys, tmp_path):
+    path = str(tmp_path / "cols.flim")
+    code, _ = run_cli(capsys, "vectors", path, "--fault", "faulty_columns",
+                      "--count", "2", "--rows", "8", "--cols", "4")
+    assert code == 0
+    from repro.core import load_fault_vectors
+    plan = load_fault_vectors(path)
+    assert all(m.flip_mask.sum() == 2 * 8 for m in plan.values())
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "CPU" in out
+    assert "numpy" in out
+
+
+def test_cost_lenet(capsys):
+    code, out = run_cli(capsys, "cost", "--model", "lenet", "--gate", "magic")
+    assert code == 0
+    assert "dense1" in out
+    assert "total per image (magic)" in out
+
+
+def test_cost_gate_families_differ(capsys):
+    _, out_imply = run_cli(capsys, "cost", "--model", "lenet",
+                           "--gate", "imply")
+    _, out_magic = run_cli(capsys, "cost", "--model", "lenet",
+                           "--gate", "magic")
+    assert out_imply != out_magic
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["report", "--model", "not_a_model"])

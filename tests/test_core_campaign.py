@@ -1,0 +1,92 @@
+"""Tests for the campaign runner (sweep x repetition protocol)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import QuantDense
+from repro.core import FaultCampaign, FaultSpec
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A tiny trained BNN on a separable task, with held-out data."""
+    rng = np.random.default_rng(0)
+    n = 400
+    x = rng.choice([-1.0, 1.0], size=(n, 16)).astype(np.float32)
+    y = (x[:, :8].sum(axis=1) > 0).astype(int)
+    model = nn.Sequential([
+        QuantDense(32, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(2, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+    ]).build((16,), seed=0)
+    trainer = nn.Trainer(nn.Adam(0.01), seed=0)
+    trainer.fit(model, x[:300], y[:300], epochs=25, batch_size=32)
+    return model, x[300:], y[300:]
+
+
+def test_baseline_accuracy_high(trained_setup):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    assert campaign.baseline_accuracy() >= 0.85
+
+
+def test_sweep_shapes_and_baseline(trained_setup):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    result = campaign.run(FaultSpec.bitflip, xs=[0.0, 0.25], repeats=3,
+                          label="bitflip")
+    assert result.accuracies.shape == (2, 3)
+    assert result.label == "bitflip"
+    # rate 0 must reproduce the baseline in every repetition
+    np.testing.assert_allclose(result.accuracies[0], result.baseline)
+
+
+def test_sweep_degrades_with_rate(trained_setup):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    result = campaign.run(FaultSpec.bitflip, xs=[0.0, 0.5], repeats=5, seed=3)
+    means = result.mean()
+    assert means[1] < means[0]
+
+
+def test_sweep_leaves_model_clean(trained_setup):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    before = model.evaluate(x, y)
+    campaign.run(FaultSpec.bitflip, xs=[0.4], repeats=2)
+    assert model.evaluate(x, y) == before
+    for layer in model.layers_of_type(QuantDense):
+        assert layer.output_fault_hook is None
+        assert layer.kernel_fault_hook is None
+
+
+def test_repetitions_differ(trained_setup):
+    """Different seeds place faults differently -> accuracy spread."""
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    result = campaign.run(FaultSpec.bitflip, xs=[0.3], repeats=6, seed=0)
+    assert result.std()[0] > 0 or len(np.unique(result.accuracies)) > 1
+
+
+def test_layer_restriction(trained_setup):
+    model, x, y = trained_setup
+    first = model.layers[0].name
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    result = campaign.run(FaultSpec.bitflip, xs=[0.2], repeats=2,
+                          layers=[first], label=first)
+    assert result.meta["layers"] == [first]
+
+
+def test_result_rows_format(trained_setup):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    result = campaign.run(FaultSpec.bitflip, xs=[0.0, 0.1], repeats=2)
+    rows = result.as_rows()
+    assert len(rows) == 2
+    x0, mean0, std0 = rows[0]
+    assert x0 == 0.0
+    assert 0.0 <= mean0 <= 1.0
+    assert std0 >= 0.0

@@ -1,0 +1,150 @@
+"""Tests for fault detection (march test) and mitigation strategies."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import QuantDense
+from repro.core import (FaultGenerator, FaultSpec, majority_vote_predict,
+                        march_test, masks_from_detection, remap_columns)
+from repro.core.detection import apply_column_permutation
+from repro.core.masks import LayerMasks
+from repro.lim import Crossbar, CrossbarConfig, ideal_device_params
+
+
+def clean_crossbar(rows=6, cols=4, gate="imply"):
+    return Crossbar(CrossbarConfig(rows=rows, cols=cols, gate_family=gate,
+                                   device=ideal_device_params()))
+
+
+def test_march_test_clean_crossbar():
+    xbar = clean_crossbar()
+    detection = march_test(xbar)
+    assert detection["stuck_at_1"] == []
+    assert detection["stuck_at_0"] == []
+
+
+def test_march_test_finds_stuck_gates():
+    xbar = clean_crossbar()
+    xbar.inject_stuck_gate(1, 2, stuck_value=1)
+    xbar.inject_stuck_gate(4, 0, stuck_value=0)
+    detection = march_test(xbar)
+    assert (1, 2) in detection["stuck_at_1"]
+    assert (4, 0) in detection["stuck_at_0"]
+    # no false positives on healthy gates
+    assert len(detection["stuck_at_1"]) == 1
+    assert len(detection["stuck_at_0"]) == 1
+
+
+def test_march_test_catches_static_bitflips():
+    """An always-firing flip inverts both phases -> flagged in both."""
+    xbar = clean_crossbar()
+    xbar.inject_bitflip(0, 0, period=0)
+    detection = march_test(xbar)
+    flagged = set(detection["stuck_at_1"]) | set(detection["stuck_at_0"])
+    assert (0, 0) in flagged
+
+
+def test_masks_from_detection_roundtrip():
+    xbar = clean_crossbar()
+    xbar.inject_stuck_gate(2, 1, stuck_value=1)
+    xbar.inject_stuck_gate(3, 3, stuck_value=0)
+    masks = masks_from_detection(xbar, march_test(xbar))
+    assert masks.stuck_mask[2, 1]
+    assert masks.stuck_values[2, 1] == 1
+    assert masks.stuck_mask[3, 3]
+    assert masks.stuck_values[3, 3] == 0
+    assert masks.stuck_mask.sum() == 2
+
+
+def test_remap_columns_parks_faulty_on_spares():
+    """With fewer channels than columns, faulty columns become spares."""
+    masks = LayerMasks(rows=4, cols=6)
+    masks.stuck_mask[:, 1] = True     # column 1 fully dead
+    masks.stuck_mask[0, 4] = True     # column 4 mildly faulty
+    perm = remap_columns(masks, filters=4)
+    active = set(perm[:4].tolist())
+    assert 1 not in active            # dead column parked on a spare slot
+    assert len(active) == 4
+
+
+def test_remap_columns_validation():
+    with pytest.raises(ValueError):
+        remap_columns(LayerMasks(rows=2, cols=2), filters=0)
+
+
+def test_apply_column_permutation_moves_faults():
+    masks = LayerMasks(rows=3, cols=3)
+    masks.flip_mask[:, 0] = True
+    perm = np.array([2, 1, 0])
+    permuted = apply_column_permutation(masks, perm)
+    assert permuted.flip_mask[:, 2].all()
+    assert not permuted.flip_mask[:, 0].any()
+    # original untouched
+    assert masks.flip_mask[:, 0].all()
+
+
+def test_remap_reduces_effective_corruption():
+    """End-to-end: remapping must not increase the faulty-output count."""
+    rng = np.random.default_rng(0)
+    masks = LayerMasks(rows=8, cols=8)
+    masks.stuck_mask[:, 2] = True
+    filters = 5
+    perm = remap_columns(masks, filters)
+    before = masks.stuck_mask[:, :filters].sum()
+    after = apply_column_permutation(masks, perm).stuck_mask[:, :filters].sum()
+    assert after <= before
+    del rng
+
+
+@pytest.fixture
+def voting_setup(rng):
+    x = rng.choice([-1.0, 1.0], size=(400, 12)).astype(np.float32)
+    y = (x[:, :6].sum(axis=1) > 0).astype(int)
+    model = nn.Sequential([
+        QuantDense(24, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(2, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+    ]).build((12,), seed=0)
+    nn.Trainer(nn.Adam(0.01), seed=0).fit(model, x[:300], y[:300],
+                                          epochs=15, batch_size=32)
+    return model, x[300:], y[300:]
+
+
+def test_majority_vote_requires_plans(voting_setup):
+    model, x, _ = voting_setup
+    with pytest.raises(ValueError):
+        majority_vote_predict(model, x, [])
+
+
+def test_majority_vote_recovers_accuracy(voting_setup):
+    """TMR across independent fault assignments beats a single faulty run."""
+    model, x, y = voting_setup
+    spec = FaultSpec.stuck_at(0.12)
+    plans = [FaultGenerator(spec, rows=8, cols=4, seed=s).generate(model)
+             for s in (1, 2, 3)]
+
+    single_accs = []
+    from repro.core import FaultInjector
+    injector = FaultInjector()
+    for plan in plans:
+        with injector.injecting(model, plan):
+            single_accs.append(float(
+                (model.predict(x).argmax(axis=-1) == y).mean()))
+
+    voted = majority_vote_predict(model, x, plans)
+    voted_acc = float((voted == y).mean())
+    assert voted_acc >= np.mean(single_accs) - 0.01
+
+
+def test_majority_vote_single_plan_equals_plain(voting_setup):
+    model, x, _ = voting_setup
+    plan = FaultGenerator(FaultSpec.bitflip(0.1), rows=8, cols=4,
+                          seed=0).generate(model)
+    voted = majority_vote_predict(model, x, [plan])
+    from repro.core import FaultInjector
+    with FaultInjector().injecting(model, plan):
+        plain = model.predict(x).argmax(axis=-1)
+    np.testing.assert_array_equal(voted, plain)

@@ -1,0 +1,66 @@
+"""Tests for the fault vocabulary (FaultSpec and friends)."""
+
+import pytest
+
+from repro.core import FaultSpec, FaultType, Semantics, StuckPolarity
+
+
+def test_bitflip_factory_defaults():
+    spec = FaultSpec.bitflip(0.1)
+    assert spec.kind == FaultType.BITFLIP
+    assert spec.rate == 0.1
+    assert spec.period == 0
+    assert spec.effective_semantics == Semantics.OUTPUT
+
+
+def test_stuck_at_defaults_to_output_rail_semantics():
+    """Canonical stuck-at = dead gate with a railed output line."""
+    spec = FaultSpec.stuck_at(0.01)
+    assert spec.effective_semantics == Semantics.OUTPUT
+    assert spec.polarity == StuckPolarity.RANDOM
+    # the frozen-operand (weight) reading stays available as an option
+    weight_spec = FaultSpec.stuck_at(0.01, semantics=Semantics.WEIGHT)
+    assert weight_spec.effective_semantics == Semantics.WEIGHT
+
+
+def test_line_fault_factories():
+    rows = FaultSpec.faulty_rows(3)
+    cols = FaultSpec.faulty_columns(2)
+    assert rows.count == 3
+    assert cols.count == 2
+    assert rows.effective_semantics == Semantics.OUTPUT
+
+
+def test_semantics_override():
+    spec = FaultSpec.bitflip(0.1, semantics=Semantics.PRODUCT)
+    assert spec.effective_semantics == Semantics.PRODUCT
+
+
+def test_rate_bounds_validation():
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(1.5)
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(-0.1)
+
+
+def test_row_faults_reject_rate():
+    with pytest.raises(ValueError):
+        FaultSpec(FaultType.FAULTY_ROWS, rate=0.5)
+
+
+def test_stuck_at_rejects_period():
+    with pytest.raises(ValueError):
+        FaultSpec(FaultType.STUCK_AT, rate=0.1, period=3)
+
+
+def test_negative_count_and_period_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec(FaultType.FAULTY_ROWS, count=-1)
+    with pytest.raises(ValueError):
+        FaultSpec(FaultType.BITFLIP, rate=0.1, period=-2)
+
+
+def test_specs_are_frozen():
+    spec = FaultSpec.bitflip(0.1)
+    with pytest.raises(AttributeError):
+        spec.rate = 0.5

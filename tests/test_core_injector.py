@@ -1,0 +1,163 @@
+"""Tests for the fault injector: hook wiring, determinism, cleanup."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import QuantConv2D, QuantDense
+from repro.core import (FaultInjector, FaultGenerator, FaultSpec, Semantics,
+                        StuckPolarity)
+
+
+def small_model(seed=0):
+    model = nn.Sequential([
+        QuantConv2D(4, 3, padding="same", input_quantizer="ste_sign",
+                    kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        nn.Flatten(),
+        QuantDense(5, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+    ], name="small")
+    model.build((6, 6, 2), seed=seed)
+    bn = model.layers_of_type(nn.BatchNorm)[0]
+    bn.running_mean[...] = 0.2
+    bn.running_var[...] = 1.3
+    return model
+
+
+@pytest.fixture
+def model():
+    return small_model()
+
+
+@pytest.fixture
+def x(rng):
+    return rng.standard_normal((4, 6, 6, 2)).astype(np.float32)
+
+
+def test_zero_fault_plan_is_identity(model, x):
+    """FLIM without faults must equal vanilla inference bit-exactly."""
+    clean = model.predict(x)
+    generator = FaultGenerator(FaultSpec.bitflip(0.0), rows=8, cols=4, seed=0)
+    plan = generator.generate(model)
+    injector = FaultInjector()
+    with injector.injecting(model, plan):
+        faulty = model.predict(x)
+    np.testing.assert_array_equal(clean, faulty)
+
+
+def test_detach_restores_vanilla(model, x):
+    clean = model.predict(x)
+    generator = FaultGenerator(FaultSpec.bitflip(0.3), rows=8, cols=4, seed=1)
+    injector = FaultInjector()
+    injector.attach(model, generator.generate(model))
+    corrupted = model.predict(x)
+    assert not np.array_equal(clean, corrupted)
+    injector.detach()
+    np.testing.assert_array_equal(model.predict(x), clean)
+
+
+def test_context_manager_detaches_on_exception(model, x):
+    generator = FaultGenerator(FaultSpec.bitflip(0.3), rows=8, cols=4, seed=1)
+    injector = FaultInjector()
+    clean = model.predict(x)
+    with pytest.raises(RuntimeError):
+        with injector.injecting(model, generator.generate(model)):
+            raise RuntimeError("boom")
+    np.testing.assert_array_equal(model.predict(x), clean)
+
+
+def test_double_attach_rejected(model):
+    generator = FaultGenerator(FaultSpec.bitflip(0.1), rows=8, cols=4)
+    injector = FaultInjector()
+    injector.attach(model, generator.generate(model))
+    with pytest.raises(RuntimeError):
+        injector.attach(model, generator.generate(model))
+    injector.detach()
+
+
+def test_unknown_layer_in_plan_rejected(model):
+    generator = FaultGenerator(FaultSpec.bitflip(0.1), rows=8, cols=4)
+    plan = generator.generate(model)
+    plan["bogus_layer"] = next(iter(plan.values()))
+    with pytest.raises(KeyError):
+        FaultInjector().attach(model, plan)
+
+
+def test_injection_is_deterministic(model, x):
+    generator = FaultGenerator(FaultSpec.bitflip(0.2), rows=8, cols=4, seed=7)
+    plan = generator.generate(model)
+    injector = FaultInjector()
+    with injector.injecting(model, plan):
+        first = model.predict(x)
+        second = model.predict(x)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_bitflip_output_semantics_changes_feature_map(model, x):
+    conv = model.layers[0]
+    generator = FaultGenerator(FaultSpec.bitflip(0.25), rows=8, cols=4, seed=3)
+    plan = generator.generate(model, layers=[conv.name])
+    clean = conv.forward(x)
+    with FaultInjector().injecting(model, plan):
+        faulty = conv.forward(x)
+    changed = clean != faulty
+    assert changed.any()
+    # flips negate: wherever changed, the value must be the exact negation
+    np.testing.assert_array_equal(faulty[changed], -clean[changed])
+
+
+def test_weight_stuck_consistent_across_batches(model, rng):
+    """Permanent faults corrupt identically for every input batch."""
+    generator = FaultGenerator(
+        FaultSpec.stuck_at(0.2, polarity=StuckPolarity.STUCK_AT_1,
+                           semantics=Semantics.WEIGHT),
+        rows=8, cols=4, seed=5)
+    plan = generator.generate(model)
+    dense = model.layers[-1]
+    x1 = rng.standard_normal((2, 6, 6, 2)).astype(np.float32)
+    injector = FaultInjector()
+    with injector.injecting(model, plan):
+        # the same stuck kernel bits must be used in both forward passes
+        k1 = dense.kernel_fault_hook(
+            np.sign(dense.params["kernel"]) + 0.0, dense)
+        k2 = dense.kernel_fault_hook(
+            np.sign(dense.params["kernel"]) + 0.0, dense)
+    np.testing.assert_array_equal(k1, k2)
+    assert (k1 == 1.0).sum() > (np.sign(dense.params["kernel"]) == 1.0).sum()
+
+
+def test_per_layer_restriction(model, x):
+    """Plans restricted to one layer must leave other layers untouched."""
+    conv, dense = model.layers[0], model.layers[-1]
+    generator = FaultGenerator(FaultSpec.bitflip(0.3), rows=8, cols=4, seed=2)
+    plan = generator.generate(model, layers=[dense.name])
+    with FaultInjector().injecting(model, plan):
+        assert conv.output_fault_hook is None
+        assert dense.output_fault_hook is not None
+
+
+def test_product_semantics_flip_magnitude(model, x):
+    """Product-level flips change each output by an even step of 2."""
+    conv = model.layers[0]
+    generator = FaultGenerator(
+        FaultSpec.bitflip(0.1, semantics=Semantics.PRODUCT),
+        rows=8, cols=4, seed=4)
+    plan = generator.generate(model, layers=[conv.name])
+    clean = conv.forward(x)
+    with FaultInjector().injecting(model, plan):
+        faulty = conv.forward(x)
+    delta = faulty - clean
+    assert delta.any()
+    np.testing.assert_array_equal(delta % 2, 0)
+    # a single product flip moves the accumulation by at most 2K
+    assert np.abs(delta).max() <= 2 * conv.reduction_length()
+
+
+def test_generator_report_layers(model):
+    generator = FaultGenerator(FaultSpec.bitflip(0.1), rows=8, cols=4)
+    report = generator.report(model)
+    assert len(report) == 2
+    assert {entry["layer"] for entry in report} == {
+        model.layers[0].name, model.layers[-1].name}
+    assert all(entry["parallel_xnor_ops"] == 32 for entry in report)

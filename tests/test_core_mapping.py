@@ -1,0 +1,122 @@
+"""Tests for the fault-mapping arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.binary import QuantConv2D, QuantDense
+from repro.core import LayerMapping, tile_vector
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+def dense_layer(units=6, features=20):
+    return build(QuantDense(units, input_quantizer="ste_sign"), (features,))
+
+
+def conv_layer():
+    return build(QuantConv2D(8, 3, padding="same", input_quantizer="ste_sign"),
+                 (8, 8, 4))
+
+
+def test_tile_vector_exact_length():
+    v = np.array([True, False, True])
+    tiled = tile_vector(v, 8)
+    np.testing.assert_array_equal(
+        tiled, [True, False, True, True, False, True, True, False])
+
+
+def test_tile_vector_shorter_than_pattern():
+    v = np.arange(10)
+    np.testing.assert_array_equal(tile_vector(v, 3), [0, 1, 2])
+
+
+def test_tile_vector_empty_rejected():
+    with pytest.raises(ValueError):
+        tile_vector(np.array([]), 5)
+
+
+def test_mapping_requires_mapped_layer():
+    unmapped = build(QuantConv2D(4, 3), (8, 8, 1))  # real-valued input
+    with pytest.raises(ValueError):
+        LayerMapping(unmapped, 4, 4)
+
+
+def test_mapping_requires_built_layer():
+    with pytest.raises(ValueError):
+        LayerMapping(QuantDense(4, input_quantizer="ste_sign"), 4, 4)
+
+
+def test_op_accounting_dense():
+    layer = dense_layer(units=6, features=20)
+    mapping = LayerMapping(layer, 8, 3)
+    assert mapping.parallel_ops == 24
+    assert mapping.total_ops == 20 * 6
+    report = mapping.describe()
+    assert report["xnor_ops_per_image"] == 120
+    assert report["crossbar"] == (8, 3)
+
+
+def test_op_accounting_conv():
+    layer = conv_layer()
+    mapping = LayerMapping(layer, 40, 10)
+    # 8x8 same-padded output, 8 filters, K = 3*3*4
+    assert mapping.total_ops == 64 * 8 * 36
+    assert mapping.cell_reuse == pytest.approx(64 * 8 * 36 / 400)
+
+
+def test_weight_plane_residue_rule():
+    layer = dense_layer(units=6, features=20)
+    mapping = LayerMapping(layer, 8, 3)
+    mask = np.zeros((8, 3), dtype=bool)
+    mask[2, 1] = True
+    plane = mapping.weight_plane(mask)
+    assert plane.shape == (20, 6)
+    want = np.zeros((20, 6), dtype=bool)
+    for t in range(20):
+        for f in range(6):
+            want[t, f] = (t % 8 == 2) and (f % 3 == 1)
+    np.testing.assert_array_equal(plane, want)
+
+
+def test_weight_stuck_planes_bipolar_values():
+    layer = dense_layer()
+    mapping = LayerMapping(layer, 8, 3)
+    mask = np.ones((8, 3), dtype=bool)
+    values = np.zeros((8, 3), dtype=np.uint8)
+    values[0, 0] = 1
+    kmask, kvals = mapping.weight_stuck_planes(mask, values)
+    assert kmask.all()
+    assert set(np.unique(kvals)) <= {-1.0, 1.0}
+    assert kvals[0, 0] == 1.0
+    assert kvals[1, 1] == -1.0
+
+
+def test_output_selector_static():
+    layer = dense_layer(units=6, features=20)
+    mapping = LayerMapping(layer, 2, 2)  # mask of 4 elements tiles over 6 outputs
+    vector = np.array([True, False, False, False])
+    selector = mapping.output_flip_selector(vector)
+    np.testing.assert_array_equal(selector, [True, False, False, False, True, False])
+
+
+def test_output_selector_dynamic_period():
+    layer = dense_layer(units=6, features=20)
+    mapping = LayerMapping(layer, 2, 2)
+    vector = np.array([True, False, False, False])
+    # occurrence = output_index // 4; period 2 keeps occurrences 0, 2, ...
+    selector = mapping.output_flip_selector(vector, period=2)
+    np.testing.assert_array_equal(selector, [True, False, False, False, False, False])
+    # with a time offset of 1, the first occurrence is odd -> suppressed
+    shifted = mapping.output_flip_selector(vector, period=2, time_offset=1)
+    np.testing.assert_array_equal(shifted, [False, False, False, False, True, False])
+
+
+def test_product_cells_enumeration():
+    layer = dense_layer()
+    mapping = LayerMapping(layer, 4, 4)
+    mask = np.zeros((4, 4), dtype=bool)
+    mask[1, 2] = mask[3, 0] = True
+    assert set(mapping.product_cells(mask)) == {(1, 2), (3, 0)}

@@ -1,0 +1,102 @@
+"""Tests for fault-mask construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FaultSpec, FaultType, StuckPolarity, assemble_layer_masks
+from repro.core.masks import (LayerMasks, build_bitflip_mask, build_line_mask,
+                              build_stuck_mask)
+
+
+def test_bitflip_mask_exact_count(rng):
+    mask = build_bitflip_mask(40, 10, 0.25, rng)
+    assert mask.shape == (40, 10)
+    assert mask.sum() == 100  # exactly round(0.25 * 400)
+
+
+def test_bitflip_mask_zero_and_full(rng):
+    assert build_bitflip_mask(8, 8, 0.0, rng).sum() == 0
+    assert build_bitflip_mask(8, 8, 1.0, rng).sum() == 64
+
+
+@given(st.integers(1, 30), st.integers(1, 30),
+       st.floats(0.0, 1.0, allow_nan=False), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_property_bitflip_count_matches_rate(rows, cols, rate, seed):
+    rng = np.random.default_rng(seed)
+    mask = build_bitflip_mask(rows, cols, rate, rng)
+    assert mask.sum() == int(round(rate * rows * cols))
+
+
+def test_bitflip_mask_positions_vary_with_seed():
+    m1 = build_bitflip_mask(20, 20, 0.1, np.random.default_rng(0))
+    m2 = build_bitflip_mask(20, 20, 0.1, np.random.default_rng(1))
+    assert not np.array_equal(m1, m2)
+
+
+def test_stuck_mask_fixed_polarity(rng):
+    mask, values = build_stuck_mask(10, 10, 0.2, StuckPolarity.STUCK_AT_1, rng)
+    assert (values[mask] == 1).all()
+    mask0, values0 = build_stuck_mask(10, 10, 0.2, StuckPolarity.STUCK_AT_0, rng)
+    assert (values0[mask0] == 0).all()
+
+
+def test_stuck_mask_random_polarity_mixes(rng):
+    mask, values = build_stuck_mask(40, 40, 0.5, StuckPolarity.RANDOM, rng)
+    levels = values[mask]
+    assert 0 < levels.mean() < 1  # both polarities present
+
+
+def test_line_mask_rows(rng):
+    mask = build_line_mask(6, 4, FaultType.FAULTY_ROWS, 2, rng,
+                           indices=np.array([1, 3]))
+    assert mask.sum() == 2 * 4
+    assert mask[1].all() and mask[3].all()
+    assert not mask[0].any()
+
+
+def test_line_mask_columns(rng):
+    mask = build_line_mask(6, 4, FaultType.FAULTY_COLUMNS, 1, rng,
+                           indices=np.array([2]))
+    assert mask[:, 2].all()
+    assert mask.sum() == 6
+
+
+def test_line_mask_too_many_lines(rng):
+    with pytest.raises(ValueError):
+        build_line_mask(4, 4, FaultType.FAULTY_ROWS, 5, rng)
+
+
+def test_assemble_combines_specs(rng):
+    masks = assemble_layer_masks(40, 10, [
+        FaultSpec.bitflip(0.1, period=3),
+        FaultSpec.faulty_columns(1),
+        FaultSpec.stuck_at(0.05),
+    ], rng)
+    assert masks.flip_period == 3
+    assert masks.flip_mask.sum() >= 40       # the whole column plus flips
+    assert masks.stuck_mask.sum() == 20      # round(0.05 * 400)
+    assert masks.has_faults
+    counts = masks.fault_counts()
+    assert counts["stuck"] == 20
+
+
+def test_assemble_empty_specs(rng):
+    masks = assemble_layer_masks(8, 8, [], rng)
+    assert not masks.has_faults
+
+
+def test_layer_masks_shape_validation():
+    with pytest.raises(ValueError):
+        LayerMasks(rows=4, cols=4, flip_mask=np.zeros((2, 2), dtype=bool))
+
+
+def test_vectors_flatten_row_major(rng):
+    masks = assemble_layer_masks(3, 4, [FaultSpec.bitflip(0.5)], rng)
+    np.testing.assert_array_equal(masks.flip_vector(),
+                                  masks.flip_mask.reshape(-1))
+    sm, sv = masks.stuck_vectors()
+    assert sm.shape == (12,)
+    assert sv.shape == (12,)

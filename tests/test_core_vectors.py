@@ -1,0 +1,94 @@
+"""Round-trip and format tests for the binary fault-vector files."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (FaultSpec, assemble_layer_masks, load_fault_vectors,
+                        save_fault_vectors)
+from repro.core.masks import LayerMasks
+from repro.core.vectors import MAGIC
+
+
+def random_plan(seed, layers=("conv1", "dense0")):
+    rng = np.random.default_rng(seed)
+    plan = {}
+    for name in layers:
+        plan[name] = assemble_layer_masks(
+            40, 10, [FaultSpec.bitflip(0.1, period=2), FaultSpec.stuck_at(0.05)], rng)
+    return plan
+
+
+def assert_plans_equal(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        ma, mb = a[name], b[name]
+        assert (ma.rows, ma.cols) == (mb.rows, mb.cols)
+        assert ma.flip_period == mb.flip_period
+        assert ma.flip_semantics == mb.flip_semantics
+        assert ma.stuck_semantics == mb.stuck_semantics
+        np.testing.assert_array_equal(ma.flip_mask, mb.flip_mask)
+        np.testing.assert_array_equal(ma.stuck_mask, mb.stuck_mask)
+        # stuck values only matter where the stuck mask is set
+        np.testing.assert_array_equal(ma.stuck_values[ma.stuck_mask],
+                                      mb.stuck_values[mb.stuck_mask])
+
+
+def test_roundtrip(tmp_path):
+    plan = random_plan(0)
+    path = tmp_path / "faults.flim"
+    save_fault_vectors(path, plan)
+    assert_plans_equal(plan, load_fault_vectors(path))
+
+
+def test_file_starts_with_magic(tmp_path):
+    path = tmp_path / "faults.flim"
+    save_fault_vectors(path, random_plan(1))
+    with open(path, "rb") as handle:
+        assert handle.read(4) == MAGIC
+
+
+def test_rejects_foreign_file(tmp_path):
+    path = tmp_path / "not_flim.bin"
+    path.write_bytes(b"NOPE" + b"\x00" * 16)
+    with pytest.raises(ValueError):
+        load_fault_vectors(path)
+
+
+def test_empty_plan_roundtrip(tmp_path):
+    path = tmp_path / "empty.flim"
+    save_fault_vectors(path, {})
+    assert load_fault_vectors(path) == {}
+
+
+def test_unicode_layer_names(tmp_path):
+    rng = np.random.default_rng(2)
+    plan = {"schicht_äöü": assemble_layer_masks(4, 4, [FaultSpec.bitflip(0.5)], rng)}
+    path = tmp_path / "unicode.flim"
+    save_fault_vectors(path, plan)
+    assert "schicht_äöü" in load_fault_vectors(path)
+
+
+@given(st.integers(1, 25), st.integers(1, 25), st.integers(0, 2 ** 31 - 1),
+       st.integers(0, 7))
+@settings(max_examples=30, deadline=None)
+def test_property_roundtrip_arbitrary_shapes(rows, cols, seed, period):
+    import os
+    import tempfile
+
+    rng = np.random.default_rng(seed)
+    masks = LayerMasks(
+        rows=rows, cols=cols,
+        flip_mask=rng.random((rows, cols)) < 0.3,
+        flip_period=period,
+        stuck_mask=rng.random((rows, cols)) < 0.2,
+        stuck_values=rng.integers(0, 2, (rows, cols)).astype(np.uint8),
+    )
+    handle, path = tempfile.mkstemp(suffix=".flim")
+    os.close(handle)
+    try:
+        save_fault_vectors(path, {"layer": masks})
+        assert_plans_equal({"layer": masks}, load_fault_vectors(path))
+    finally:
+        os.unlink(path)

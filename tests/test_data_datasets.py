@@ -1,0 +1,74 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+
+
+@pytest.fixture
+def dataset(rng):
+    x = rng.standard_normal((40, 8, 8, 1)).astype(np.float32)
+    y = np.arange(40) % 4
+    return Dataset(x, y, class_names=["a", "b", "c", "d"])
+
+
+def test_length_and_classes(dataset):
+    assert len(dataset) == 40
+    assert dataset.num_classes == 4
+
+
+def test_mismatched_lengths_rejected(rng):
+    with pytest.raises(ValueError):
+        Dataset(rng.standard_normal((5, 2)), np.zeros(4, dtype=int))
+
+
+def test_subset_first_n(dataset):
+    sub = dataset.subset(10)
+    assert len(sub) == 10
+    np.testing.assert_array_equal(sub.x, dataset.x[:10])
+
+
+def test_subset_random_seeded(dataset):
+    a = dataset.subset(10, seed=1)
+    b = dataset.subset(10, seed=1)
+    np.testing.assert_array_equal(a.y, b.y)
+    c = dataset.subset(10, seed=2)
+    assert not np.array_equal(a.y, c.y)
+
+
+def test_subset_larger_than_set(dataset):
+    assert dataset.subset(1000) is dataset
+
+
+def test_split_partitions(dataset):
+    left, right = dataset.split(0.75, seed=0)
+    assert len(left) == 30
+    assert len(right) == 10
+    with pytest.raises(ValueError):
+        dataset.split(1.5)
+
+
+def test_batches_cover_everything(dataset):
+    seen = 0
+    for xb, yb in dataset.batches(7):
+        assert len(xb) == len(yb)
+        seen += len(xb)
+    assert seen == len(dataset)
+
+
+def test_batches_shuffled_with_seed(dataset):
+    plain = np.concatenate([yb for _, yb in dataset.batches(7)])
+    shuffled = np.concatenate([yb for _, yb in dataset.batches(7, seed=3)])
+    np.testing.assert_array_equal(np.sort(plain), np.sort(shuffled))
+    assert not np.array_equal(plain, shuffled)
+
+
+def test_class_balance(dataset):
+    np.testing.assert_array_equal(dataset.class_balance(), [10, 10, 10, 10])
+
+
+def test_standardized_moments(dataset):
+    norm = dataset.standardized()
+    assert abs(norm.x.mean()) < 1e-5
+    assert abs(norm.x.std() - 1.0) < 1e-3

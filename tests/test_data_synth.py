@@ -1,0 +1,91 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, load_synth_imagenet, load_synth_mnist
+from repro.data.synth_imagenet import CLASS_NAMES, render_class
+from repro.data.synth_mnist import DIGIT_STROKES, render_digit
+
+
+def test_all_digits_have_strokes():
+    assert set(DIGIT_STROKES) == set(range(10))
+
+
+def test_render_digit_shape_and_range(rng):
+    image = render_digit(3, rng)
+    assert image.shape == (28, 28)
+    assert image.dtype == np.float32
+    assert 0.0 <= image.min() and image.max() <= 1.0
+    assert image.max() > 0.5  # strokes must actually be drawn
+
+
+def test_render_digit_rejects_bad_label(rng):
+    with pytest.raises(ValueError):
+        render_digit(10, rng)
+
+
+def test_render_digit_jitter_varies(rng):
+    a = render_digit(5, np.random.default_rng(0))
+    b = render_digit(5, np.random.default_rng(1))
+    assert not np.array_equal(a, b)
+
+
+def test_digits_are_distinguishable():
+    """Mean images of different classes must differ substantially."""
+    means = []
+    for digit in range(10):
+        rng = np.random.default_rng(100 + digit)
+        means.append(np.mean([render_digit(digit, rng) for _ in range(8)], axis=0))
+    for i in range(10):
+        for j in range(i + 1, 10):
+            assert np.abs(means[i] - means[j]).mean() > 0.02, (i, j)
+
+
+def test_mnist_splits_shapes():
+    (x_tr, y_tr), (x_te, y_te) = load_synth_mnist(n_train=50, n_test=20)
+    assert x_tr.shape == (50, 28, 28, 1)
+    assert x_te.shape == (20, 28, 28, 1)
+    assert y_tr.shape == (50,)
+    assert set(np.unique(y_tr)) <= set(range(10))
+
+
+def test_mnist_train_test_disjoint_rendering():
+    (x_tr, _), (x_te, _) = load_synth_mnist(n_train=20, n_test=20, seed=0)
+    assert not np.array_equal(x_tr[:20], x_te[:20])
+
+
+def test_mnist_deterministic_by_seed():
+    a = load_synth_mnist(n_train=10, n_test=5, seed=3)
+    b = load_synth_mnist(n_train=10, n_test=5, seed=3)
+    np.testing.assert_array_equal(a[0][0], b[0][0])
+
+
+def test_imagenet_classes_shape_and_range(rng):
+    for label in range(10):
+        image = render_class(label, rng)
+        assert image.shape == (32, 32, 3)
+        assert 0.0 <= image.min() and image.max() <= 1.0
+
+
+def test_imagenet_rejects_bad_label(rng):
+    with pytest.raises(ValueError):
+        render_class(10, rng)
+
+
+def test_imagenet_has_ten_class_names():
+    assert len(CLASS_NAMES) == 10
+    assert len(set(CLASS_NAMES)) == 10
+
+
+def test_imagenet_splits_balanced():
+    (x_tr, y_tr), _ = load_synth_imagenet(n_train=100, n_test=10)
+    counts = np.bincount(y_tr, minlength=10)
+    assert (counts == 10).all()
+
+
+def test_imagenet_structure_not_color():
+    """Per-sample colors are randomized: channel means must vary in-class."""
+    rng = np.random.default_rng(0)
+    means = [render_class(0, rng).mean(axis=(0, 1)) for _ in range(6)]
+    assert np.std([m[0] for m in means]) > 0.02

@@ -1,0 +1,123 @@
+"""Integration tests for the experiment runners (tiny configurations).
+
+These use the cached trained LeNet (training it on first run) and tiny
+sweep settings, so they validate the experiment plumbing end-to-end
+without benchmark-scale runtimes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4, get_mnist, trained_lenet
+from repro.experiments.tables import table1_setup
+from repro.models.lenet import LENET_MAPPED_LAYERS
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return trained_lenet()
+
+
+@pytest.fixture(scope="module")
+def tiny_test():
+    _, test = get_mnist()
+    return test.subset(60)
+
+
+def test_lenet_baseline_matches_paper_regime(lenet):
+    """Paper: 97.62% on MNIST.  The synthetic substitute must land in the
+    same regime (>= 90%) for degradation studies to be meaningful."""
+    _, test = get_mnist()
+    assert test.x.shape[1:] == (28, 28, 1)
+    accuracy = lenet.evaluate(test.x, test.y)
+    assert accuracy >= 0.90
+
+
+def test_fig4a_runner_structure(lenet, tiny_test):
+    results = fig4.run_fig4a(lenet, tiny_test, rates=(0.0, 0.3), repeats=2)
+    assert set(results) == set(LENET_MAPPED_LAYERS) | {"combined"}
+    for label, result in results.items():
+        assert result.accuracies.shape == (2, 2), label
+        assert result.mean()[0] == result.baseline
+
+
+def test_fig4b_stuckat_stronger_than_bitflip(lenet):
+    """The paper's central finding: permanent stuck-at faults degrade
+    accuracy more than transient bit-flips at the same injection rate."""
+    _, test = get_mnist()
+    test = test.subset(250)
+    rate = 0.15
+    flips = fig4.run_fig4a(lenet, test, rates=(rate,), repeats=4)
+    stuck = fig4.run_fig4b(lenet, test, rates=(rate,), repeats=4)
+    assert stuck["combined"].mean()[0] < flips["combined"].mean()[0]
+
+
+def test_fig4c_dynamic_recovers(lenet, tiny_test):
+    result = fig4.run_fig4c(lenet, tiny_test, periods=(0, 4), rate=0.15,
+                            repeats=3)
+    means = result.mean()
+    assert means[1] >= means[0]
+
+
+def test_fig4d_columns_within_range(lenet, tiny_test):
+    results = fig4.run_fig4d(lenet, tiny_test, counts=(0, 4), repeats=2,
+                             layer_names=("conv1",))
+    assert list(results) == ["conv1"]
+    conv1 = results["conv1"]
+    assert conv1.mean()[1] <= conv1.mean()[0]
+
+
+def test_fig4e_rows_milder_than_columns(lenet, tiny_test):
+    """160 faulty cells via rows must hurt less than via columns (paper:
+    'the impact of faulty columns is more substantial than of faulty
+    rows')."""
+    cols = fig4.run_fig4d(lenet, tiny_test, counts=(4,), repeats=3,
+                          layer_names=("conv1",))["conv1"]
+    rows = fig4.run_fig4e(lenet, tiny_test, counts=(16,), repeats=3,
+                          layer_names=("conv1",))["conv1"]
+    assert rows.mean()[0] >= cols.mean()[0] - 0.05
+
+
+def test_fig4f_runtime_shape(rng):
+    """Runtime protocol on a small model (LeNet-scale serial runs take
+    minutes; the benchmark covers those)."""
+    from repro import nn
+    from repro.binary import QuantDense
+    from repro.data import Dataset
+
+    model = nn.Sequential([
+        QuantDense(6, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(4, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+    ]).build((12,), seed=0)
+    x = rng.standard_normal((40, 12)).astype(np.float32)
+    y = rng.integers(0, 4, 40)
+    test = Dataset(x, y)
+
+    outcome = fig4.run_fig4f(model, test, passes=1, xfault_images=2,
+                             serial_images=1, rows=6, cols=3)
+    names = [sample.platform for sample in outcome["samples"]]
+    assert names == ["X-Fault", "device-tile", "FLIM", "vanilla"]
+    by_name = {platform: speedup for platform, _, speedup in outcome["table"]}
+    assert by_name["X-Fault"] == pytest.approx(1.0)
+    assert by_name["FLIM"] > 10.0      # device level must be far slower
+    assert by_name["FLIM"] >= by_name["device-tile"]
+
+
+def test_table1_setup_rows():
+    rows = table1_setup()
+    keys = [key for key, _ in rows]
+    assert "CPU" in keys
+    assert "numpy" in keys
+    assert all(isinstance(value, str) and value for _, value in rows)
+
+
+def test_trained_lenet_cache_roundtrip(lenet):
+    """A second call must load identical weights from the cache."""
+    again = trained_lenet()
+    first = lenet.state_dict()
+    second = again.state_dict()
+    assert set(first) == set(second)
+    for key in first:
+        np.testing.assert_array_equal(first[key], second[key])

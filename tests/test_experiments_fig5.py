@@ -1,0 +1,67 @@
+"""Integration tests for the Fig. 5 / Table II runners (cached models)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.experiments import fig5, get_imagenet, trained_zoo_model
+from repro.experiments.tables import table2_model_stats
+from repro.models.zoo import MODEL_PAPER_STATS
+
+
+@pytest.fixture(scope="module")
+def tiny_imagenet_test():
+    _, test = get_imagenet()
+    return test.subset(60)
+
+
+def test_trained_zoo_model_loads_from_cache():
+    model = trained_zoo_model("binary_alexnet")
+    assert model.built
+    again = trained_zoo_model("binary_alexnet")
+    first = model.state_dict()
+    second = again.state_dict()
+    for key in first:
+        np.testing.assert_array_equal(first[key], second[key])
+
+
+def test_trained_zoo_model_rejects_unknown():
+    with pytest.raises(ValueError):
+        trained_zoo_model("lenet5000")
+
+
+def test_model_sweep_single_model(tiny_imagenet_test):
+    from repro.core import FaultSpec
+    results = fig5.model_sweep(
+        FaultSpec.bitflip, xs=[0.0, 0.2], models=["binary_alexnet"],
+        repeats=2, test=tiny_imagenet_test)
+    assert list(results) == ["binary_alexnet"]
+    result = results["binary_alexnet"]
+    assert result.accuracies.shape == (2, 2)
+    assert result.mean()[0] == pytest.approx(result.baseline)
+    assert result.mean()[1] <= result.mean()[0]
+
+
+def test_fig5c_recovers_with_period(tiny_imagenet_test):
+    results = fig5.run_fig5c(models=["binary_resnet_e18"], periods=(0, 4),
+                             rate=0.15, repeats=2, test=tiny_imagenet_test)
+    means = results["binary_resnet_e18"].mean()
+    assert means[1] >= means[0] - 0.05
+
+
+def test_table2_stats_without_accuracy():
+    rows = table2_model_stats(models=["binary_densenet28", "binary_alexnet"],
+                              measure_accuracy=False)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["binarized_pct"] > 85.0
+        assert row["paper_binarized_pct"] == \
+            MODEL_PAPER_STATS[row["model"]][4]
+        assert np.isnan(row["top1_pct"])
+
+
+def test_sweep_ranges_match_paper_axes():
+    """Fig. 5b's stuck-at axis is 10x tighter than Fig. 5a's bit-flip axis."""
+    assert max(fig5.STUCKAT_RATES) == 0.02
+    assert max(fig5.BITFLIP_RATES) == 0.20
+    assert max(fig5.BITFLIP_RATES) / max(fig5.STUCKAT_RATES) == 10.0

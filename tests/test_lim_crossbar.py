@@ -1,0 +1,118 @@
+"""Tests for the crossbar array: execution, fault injection, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.lim import CELL_OUT, Crossbar, CrossbarConfig
+from repro.lim.memristor import DeviceParams
+
+
+def make_crossbar(rows=4, cols=3, gate="imply", variability=0.0, seed=0):
+    return Crossbar(CrossbarConfig(
+        rows=rows, cols=cols, gate_family=gate,
+        device=DeviceParams(variability=variability), seed=seed))
+
+
+def random_tiles(rng, rows, cols):
+    return (rng.integers(0, 2, (rows, cols)).astype(np.uint8),
+            rng.integers(0, 2, (rows, cols)).astype(np.uint8))
+
+
+@pytest.mark.parametrize("gate", ["imply", "magic"])
+def test_faultfree_matches_ideal(rng, gate):
+    xbar = make_crossbar(gate=gate)
+    a, b = random_tiles(rng, 4, 3)
+    np.testing.assert_array_equal(xbar.compute_xnor(a, b), xbar.ideal_xnor(a, b))
+
+
+def test_tile_shape_enforced(rng):
+    xbar = make_crossbar()
+    with pytest.raises(ValueError):
+        xbar.compute_xnor(np.zeros((2, 2), dtype=np.uint8),
+                          np.zeros((2, 2), dtype=np.uint8))
+
+
+def test_stuck_gate_forces_output(rng):
+    xbar = make_crossbar()
+    xbar.inject_stuck_gate(1, 2, stuck_value=1)
+    a, b = random_tiles(rng, 4, 3)
+    out = xbar.compute_xnor(a, b)
+    ideal = xbar.ideal_xnor(a, b)
+    assert out[1, 2] == 1
+    mismatch = out != ideal
+    assert set(zip(*np.nonzero(mismatch))) <= {(1, 2)}
+
+
+def test_row_fault_corrupts_whole_row(rng):
+    xbar = make_crossbar()
+    xbar.inject_row_fault(2, stuck_value=0)
+    a, b = random_tiles(rng, 4, 3)
+    out = xbar.compute_xnor(a, b)
+    np.testing.assert_array_equal(out[2], np.zeros(3, dtype=np.uint8))
+    ideal = xbar.ideal_xnor(a, b)
+    np.testing.assert_array_equal(out[[0, 1, 3]], ideal[[0, 1, 3]])
+
+
+def test_column_fault_corrupts_whole_column(rng):
+    xbar = make_crossbar()
+    xbar.inject_column_fault(0, stuck_value=1)
+    a, b = random_tiles(rng, 4, 3)
+    out = xbar.compute_xnor(a, b)
+    # IMPLY with every cell stuck at LRS: OUT cell stuck at 1
+    np.testing.assert_array_equal(out[:, 0], np.ones(4, dtype=np.uint8))
+
+
+def test_static_bitflip_flips_every_use(rng):
+    xbar = make_crossbar()
+    xbar.inject_bitflip(0, 0, period=0)
+    a, b = random_tiles(rng, 4, 3)
+    for _ in range(3):
+        out = xbar.compute_xnor(a, b)
+        ideal = xbar.ideal_xnor(a, b)
+        assert out[0, 0] == 1 - ideal[0, 0]
+
+
+def test_dynamic_bitflip_period(rng):
+    """Period-n flips fire on uses 0, n, 2n, ... — every n-th XNOR op."""
+    xbar = make_crossbar()
+    n = 3
+    xbar.inject_bitflip(0, 0, period=n)
+    a, b = random_tiles(rng, 4, 3)
+    ideal = xbar.ideal_xnor(a, b)
+    flips = []
+    for use in range(9):
+        out = xbar.compute_xnor(a, b)
+        flips.append(out[0, 0] != ideal[0, 0])
+    assert flips == [use % n == 0 for use in range(9)]
+
+
+def test_use_count_increments(rng):
+    xbar = make_crossbar()
+    a, b = random_tiles(rng, 4, 3)
+    for _ in range(5):
+        xbar.compute_xnor(a, b)
+    assert (xbar.use_count == 5).all()
+
+
+def test_clear_faults_restores_ideal(rng):
+    xbar = make_crossbar()
+    xbar.inject_stuck_gate(0, 0, 1)
+    xbar.inject_bitflip(1, 1)
+    assert xbar.fault_summary()["stuck_cells"] > 0
+    xbar.clear_faults()
+    assert xbar.fault_summary() == {"stuck_cells": 0, "flip_gates": 0}
+    a, b = random_tiles(rng, 4, 3)
+    np.testing.assert_array_equal(xbar.compute_xnor(a, b), xbar.ideal_xnor(a, b))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CrossbarConfig(rows=0, cols=5)
+    with pytest.raises(TypeError):
+        Crossbar(CrossbarConfig(), rows=4)
+
+
+def test_default_geometry_matches_paper():
+    """The paper's row/column experiment instantiates a 40x10 crossbar."""
+    xbar = Crossbar()
+    assert (xbar.rows, xbar.cols) == (40, 10)

@@ -1,0 +1,90 @@
+"""Tests for the energy/latency and lifetime-reliability models."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import QuantDense
+from repro.lim import (EnduranceModel, EnergyParams, estimate_layer_cost,
+                       estimate_model_cost, lifetime_fault_rates)
+from repro.models import build_lenet
+
+
+def dense_layer(units=8, features=64):
+    layer = QuantDense(units, input_quantizer="ste_sign")
+    layer.build((features,), np.random.default_rng(0))
+    return layer
+
+
+def test_layer_cost_scales_with_ops():
+    small = estimate_layer_cost(dense_layer(units=4), 8, 4)
+    big = estimate_layer_cost(dense_layer(units=16), 8, 4)
+    assert big.xnor_ops > small.xnor_ops
+    assert big.energy_nj > small.energy_nj
+    assert big.latency_us > small.latency_us
+
+
+def test_imply_costs_more_than_magic():
+    """IMPLY's 11-step program must cost more than MAGIC's 3 steps."""
+    layer = dense_layer()
+    imply = estimate_layer_cost(layer, 8, 4, gate_family="imply")
+    magic = estimate_layer_cost(layer, 8, 4, gate_family="magic")
+    assert imply.driver_steps > magic.driver_steps
+    assert imply.latency_us > magic.latency_us
+    assert imply.xnor_ops == magic.xnor_ops  # same logical work
+
+
+def test_model_cost_covers_mapped_layers():
+    model = build_lenet()
+    costs = estimate_model_cost(model)
+    assert [c.layer for c in costs] == ["conv1", "conv2", "dense0", "dense1"]
+    assert all(c.energy_nj > 0 for c in costs)
+
+
+def test_energy_params_influence():
+    layer = dense_layer()
+    cheap = estimate_layer_cost(layer, 8, 4,
+                                params=EnergyParams(write_energy_pj=0.1))
+    pricey = estimate_layer_cost(layer, 8, 4,
+                                 params=EnergyParams(write_energy_pj=1.0))
+    assert pricey.energy_nj > cheap.energy_nj
+
+
+def test_endurance_stuck_fraction_monotone():
+    model = EnduranceModel(mean_cycles=1e6, shape=2.0)
+    ages = [0, 1e5, 1e6, 1e7]
+    fractions = [model.stuck_fraction(age) for age in ages]
+    assert fractions[0] == 0.0
+    assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] > 0.99
+
+
+def test_endurance_mean_is_characteristic():
+    """At the mean endurance, roughly half the cells have failed."""
+    model = EnduranceModel(mean_cycles=1e6, shape=2.0)
+    assert 0.3 < model.stuck_fraction(1e6) < 0.8
+
+
+def test_upset_probability_small_rate():
+    model = EnduranceModel(upset_rate_per_cycle=1e-9)
+    p = model.upset_probability(1e6)
+    assert p == pytest.approx(1e-3, rel=0.01)
+
+
+def test_endurance_validation():
+    with pytest.raises(ValueError):
+        EnduranceModel(mean_cycles=0)
+
+
+def test_lifetime_fault_rates_series():
+    points = lifetime_fault_rates(
+        model_cycles_per_inference=1e4,
+        ages=[0.0, 1e7, 1e8, 1e9],
+        endurance=EnduranceModel(mean_cycles=1e8))
+    assert len(points) == 4
+    stuck = [p.stuck_rate for p in points]
+    assert stuck[0] == 0.0
+    assert stuck == sorted(stuck)
+    # transient rate is age-independent (environmental)
+    flips = {p.bitflip_rate for p in points}
+    assert len(flips) == 1

@@ -1,0 +1,112 @@
+"""Truth-table and fault-propagation tests for the XNOR gate families."""
+
+import numpy as np
+import pytest
+
+from repro.lim import (CELL_A, CELL_B, CELL_OUT, CELL_W, CellArray,
+                       Health, ImplyXnorGate, MagicXnorGate, get_gate_family)
+from repro.lim.memristor import DeviceParams
+
+
+def fresh_cells(shape=(2, 2, 4), variability=0.0):
+    return CellArray(shape, DeviceParams(variability=variability), seed=0)
+
+
+@pytest.mark.parametrize("family", ["imply", "magic"])
+def test_xnor_truth_table(family):
+    gate = get_gate_family(family)
+    # one tile evaluating all four input combinations at once
+    a = np.array([[0, 0], [1, 1]], dtype=np.uint8)
+    b = np.array([[0, 1], [0, 1]], dtype=np.uint8)
+    out = gate.compute(fresh_cells(), a, b)
+    expected = 1 - (a ^ b)
+    np.testing.assert_array_equal(out, expected)
+
+
+@pytest.mark.parametrize("family", ["imply", "magic"])
+def test_xnor_truth_table_with_variability(family):
+    """Cycle-to-cycle variability must not flip healthy logic levels."""
+    gate = get_gate_family(family)
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 2, (16, 16)).astype(np.uint8)
+    b = rng.integers(0, 2, (16, 16)).astype(np.uint8)
+    out = gate.compute(fresh_cells((16, 16, 4), variability=0.1), a, b)
+    np.testing.assert_array_equal(out, 1 - (a ^ b))
+
+
+@pytest.mark.parametrize("family", ["imply", "magic"])
+@pytest.mark.parametrize("stuck_value", [0, 1])
+def test_stuck_input_cell_corrupts_mechanistically(family, stuck_value):
+    """A stuck A-cell corrupts the gate the way the physical program would.
+
+    IMPLY reuses the A cell as scratch in its final steps, so a stuck A
+    forces the output to ``¬stuck`` for every input combination.  MAGIC
+    stores (x, x̄) on two cells; a stuck x-cell breaks the complementary
+    pair: out = (stuck∧w) ∨ (¬x∧¬w).
+    """
+    gate = get_gate_family(family)
+    health = Health.STUCK_LRS if stuck_value else Health.STUCK_HRS
+    for a_val in (0, 1):
+        for b_val in (0, 1):
+            cells = fresh_cells((1, 1, 4))
+            cells.set_health((0, 0, CELL_A), health)
+            a = np.full((1, 1), a_val, dtype=np.uint8)
+            b = np.full((1, 1), b_val, dtype=np.uint8)
+            out = gate.compute(cells, a, b)
+            if family == "imply":
+                assert out[0, 0] == 1 - stuck_value
+            else:
+                expected = (stuck_value & b_val) | ((1 - a_val) & (1 - b_val))
+                assert out[0, 0] == expected
+
+
+def test_imply_stuck_out_cell_forces_output():
+    gate = ImplyXnorGate()
+    for stuck, health in ((0, Health.STUCK_HRS), (1, Health.STUCK_LRS)):
+        for a_val in (0, 1):
+            for b_val in (0, 1):
+                cells = fresh_cells((1, 1, 4))
+                cells.set_health((0, 0, CELL_OUT), health)
+                out = gate.compute(cells,
+                                   np.full((1, 1), a_val, dtype=np.uint8),
+                                   np.full((1, 1), b_val, dtype=np.uint8))
+                assert out[0, 0] == stuck
+
+
+def test_imply_stuck_work_cell_corrupts_some_inputs():
+    """A stuck work cell must corrupt at least one input combination."""
+    gate = ImplyXnorGate()
+    wrong = 0
+    for a_val in (0, 1):
+        for b_val in (0, 1):
+            cells = fresh_cells((1, 1, 4))
+            cells.set_health((0, 0, CELL_W), Health.STUCK_LRS)
+            out = gate.compute(cells,
+                               np.full((1, 1), a_val, dtype=np.uint8),
+                               np.full((1, 1), b_val, dtype=np.uint8))
+            wrong += int(out[0, 0] != (1 - (a_val ^ b_val)))
+    assert wrong > 0
+
+
+def test_magic_stuck_weight_cell_acts_as_stuck_weight():
+    gate = MagicXnorGate()
+    for a_val in (0, 1):
+        for b_val in (0, 1):
+            cells = fresh_cells((1, 1, 4))
+            cells.set_health((0, 0, CELL_W), Health.STUCK_LRS)  # w stuck 1
+            out = gate.compute(cells,
+                               np.full((1, 1), a_val, dtype=np.uint8),
+                               np.full((1, 1), b_val, dtype=np.uint8))
+            expected = (a_val & 1) | ((1 - a_val) & (1 - b_val))
+            assert out[0, 0] == expected
+
+
+def test_gate_family_registry():
+    assert isinstance(get_gate_family("imply"), ImplyXnorGate)
+    assert isinstance(get_gate_family("magic"), MagicXnorGate)
+    with pytest.raises(ValueError):
+        get_gate_family("nand")
+
+
+def test_imply_costs_more_steps_than_magic():
+    assert ImplyXnorGate.steps_per_op > MagicXnorGate.steps_per_op

@@ -1,0 +1,71 @@
+"""Tests for the memristive device model."""
+
+import numpy as np
+import pytest
+
+from repro.lim import CellArray, DeviceParams, Health
+
+
+def test_write_read_roundtrip(rng):
+    cells = CellArray((8, 8), seed=0)
+    bits = rng.integers(0, 2, (8, 8)).astype(np.uint8)
+    cells.write(bits)
+    np.testing.assert_array_equal(cells.read(), bits)
+
+
+def test_variability_does_not_corrupt_levels():
+    cells = CellArray((1000,), DeviceParams(variability=0.1), seed=1)
+    bits = np.tile(np.array([0, 1], dtype=np.uint8), 500)
+    cells.write(bits)
+    np.testing.assert_array_equal(cells.read(), bits)
+
+
+def test_stuck_lrs_ignores_writes():
+    cells = CellArray((4,), seed=0)
+    cells.set_health(np.s_[1], Health.STUCK_LRS)
+    cells.write(np.zeros(4, dtype=np.uint8))
+    out = cells.read()
+    assert out[1] == 1        # stuck-at-1 survives a 0-write
+    assert out[0] == 0 and out[2] == 0 and out[3] == 0
+
+
+def test_stuck_hrs_ignores_writes():
+    cells = CellArray((4,), seed=0)
+    cells.set_health(np.s_[2], Health.STUCK_HRS)
+    cells.write(np.ones(4, dtype=np.uint8))
+    out = cells.read()
+    assert out[2] == 0        # stuck-at-0 survives a 1-write
+    assert out[0] == 1
+
+
+def test_healthy_fraction():
+    cells = CellArray((10,), seed=0)
+    assert cells.healthy_fraction() == 1.0
+    cells.set_health(np.s_[:5], Health.STUCK_HRS)
+    assert cells.healthy_fraction() == 0.5
+
+
+def test_write_count_tracks_usage():
+    cells = CellArray((3,), seed=0)
+    for _ in range(5):
+        cells.write(np.ones(3, dtype=np.uint8))
+    np.testing.assert_array_equal(cells.write_count, [5, 5, 5])
+
+
+def test_drift_eventually_sticks_cells():
+    params = DeviceParams(variability=0.0, drift_per_write=0.05)
+    cells = CellArray((2,), params, seed=0)
+    assert not cells.effectively_stuck().any()
+    for _ in range(200):
+        cells.write(np.array([1, 0], dtype=np.uint8))
+    assert cells.effectively_stuck().all()
+
+
+def test_device_params_validation():
+    with pytest.raises(ValueError):
+        DeviceParams(r_lrs=1e6, r_hrs=1e4)
+
+
+def test_threshold_is_geometric_mean():
+    params = DeviceParams(r_lrs=1e4, r_hrs=1e6)
+    assert params.r_threshold == pytest.approx(1e5)

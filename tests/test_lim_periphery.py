@@ -1,0 +1,88 @@
+"""Tests for the crossbar periphery models (sense amp, write-verify)."""
+
+import numpy as np
+import pytest
+
+from repro.lim import CellArray, DeviceParams
+from repro.lim.periphery import SenseAmplifier, WriteVerifyProgrammer
+
+
+def healthy_cells(n=64, variability=0.0, seed=0):
+    cells = CellArray((n,), DeviceParams(variability=variability), seed=seed)
+    bits = (np.arange(n) % 2).astype(np.uint8)
+    cells.write(bits)
+    return cells, bits
+
+
+def test_ideal_sense_reads_correctly():
+    cells, bits = healthy_cells()
+    sense = SenseAmplifier(offset_sigma=0.0, noise_sigma=0.0)
+    np.testing.assert_array_equal(sense.read(cells), bits)
+
+
+def test_noisy_sense_still_correct_with_wide_margin():
+    """A two-decade HRS/LRS window swallows realistic SA non-idealities."""
+    cells, bits = healthy_cells(variability=0.05)
+    sense = SenseAmplifier(offset_sigma=0.05, noise_sigma=0.02, seed=1)
+    np.testing.assert_array_equal(sense.read(cells), bits)
+
+
+def test_sense_offset_is_static_per_instance():
+    a = SenseAmplifier(offset_sigma=0.1, seed=3)
+    b = SenseAmplifier(offset_sigma=0.1, seed=4)
+    assert a._offset != b._offset
+
+
+def test_misread_probability_small_for_healthy_cells():
+    cells, _ = healthy_cells()
+    sense = SenseAmplifier(offset_sigma=0.0, noise_sigma=0.05)
+    probs = sense.misread_probability(cells)
+    assert (probs < 1e-6).all()
+
+
+def test_misread_probability_rises_near_threshold():
+    cells, _ = healthy_cells(n=2)
+    # drag one cell's resistance to the decision threshold
+    cells.resistance[0] = cells.params.r_threshold * 1.05
+    sense = SenseAmplifier(offset_sigma=0.0, noise_sigma=0.05)
+    probs = sense.misread_probability(cells)
+    assert probs[0] > 0.1          # marginal cell misreads often
+    assert probs[1] < 1e-6         # healthy cell does not
+
+
+def test_write_verify_passes_healthy_cells():
+    cells, bits = healthy_cells()
+    programmer = WriteVerifyProgrammer(
+        max_attempts=3, sense=SenseAmplifier(offset_sigma=0.0, noise_sigma=0.0))
+    verified, attempts = programmer.program(cells, bits)
+    assert verified.all()
+    np.testing.assert_array_equal(attempts, np.ones_like(attempts))
+
+
+def test_write_verify_flags_stuck_cells():
+    from repro.lim import Health
+    cells, bits = healthy_cells()
+    cells.set_health(np.s_[0], Health.STUCK_HRS)
+    want = bits.copy()
+    want[0] = 1  # ask the stuck-low cell for a 1 it can never hold
+    programmer = WriteVerifyProgrammer(
+        max_attempts=3, sense=SenseAmplifier(offset_sigma=0.0, noise_sigma=0.0))
+    verified, attempts = programmer.program(cells, want)
+    assert not verified[0]
+    assert attempts[0] == 3        # exhausted the retry budget
+    assert verified[1:].all()
+
+
+def test_write_verify_validation():
+    with pytest.raises(ValueError):
+        WriteVerifyProgrammer(max_attempts=0)
+
+
+def test_write_verify_attempt_counts_feed_endurance():
+    """Every retry is a switching event visible to the wear counters."""
+    cells, bits = healthy_cells()
+    before = cells.write_count.copy()
+    programmer = WriteVerifyProgrammer(
+        max_attempts=2, sense=SenseAmplifier(offset_sigma=0.0, noise_sigma=0.0))
+    programmer.program(cells, bits)
+    assert (cells.write_count > before).all()

@@ -1,0 +1,97 @@
+"""Tests and properties of the weight-stationary tile schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lim import TileSchedule
+
+
+def test_basic_counts():
+    s = TileSchedule(positions=6, terms=9, filters=5, rows=4, cols=2)
+    assert s.row_passes == 3      # ceil(9/4)
+    assert s.col_passes == 3      # ceil(5/2)
+    assert s.tiles == 9
+    assert s.steps == 54          # tiles * positions
+    assert s.total_ops == 6 * 9 * 5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TileSchedule(positions=0, terms=1, filters=1, rows=1, cols=1)
+
+
+def test_cell_for_op_round_robin():
+    s = TileSchedule(positions=1, terms=10, filters=6, rows=4, cols=3)
+    assert s.cell_for_op(0, 0) == (0, 0)
+    assert s.cell_for_op(4, 3) == (0, 0)
+    assert s.cell_for_op(9, 5) == (1, 2)
+
+
+def test_terms_and_channels_partitions():
+    s = TileSchedule(positions=2, terms=10, filters=7, rows=4, cols=3)
+    all_terms = np.sort(np.concatenate([s.terms_on_row(r) for r in range(4)]))
+    np.testing.assert_array_equal(all_terms, np.arange(10))
+    all_chans = np.sort(np.concatenate([s.channels_on_column(c) for c in range(3)]))
+    np.testing.assert_array_equal(all_chans, np.arange(7))
+
+
+def test_ops_on_cells_sum_to_total():
+    s = TileSchedule(positions=3, terms=10, filters=7, rows=4, cols=3)
+    total = sum(s.ops_on_cell(r, c) for r in range(4) for c in range(3))
+    assert total == s.total_ops
+
+
+def test_tile_blocks_cover_grid_once():
+    s = TileSchedule(positions=1, terms=10, filters=7, rows=4, cols=3)
+    seen = np.zeros((10, 7), dtype=int)
+    for tile in range(s.tiles):
+        term_idx, chan_idx = s.tile_blocks(tile)
+        seen[np.ix_(term_idx, chan_idx)] += 1
+    np.testing.assert_array_equal(seen, np.ones((10, 7), dtype=int))
+
+
+def test_tile_blocks_bounds():
+    s = TileSchedule(positions=1, terms=4, filters=4, rows=4, cols=4)
+    with pytest.raises(IndexError):
+        s.tile_blocks(1)
+    with pytest.raises(IndexError):
+        s.terms_on_row(4)
+    with pytest.raises(IndexError):
+        s.channels_on_column(-1)
+
+
+def test_occurrence_index_orders_stream():
+    s = TileSchedule(positions=3, terms=8, filters=4, rows=4, cols=2)
+    # within one tile, occurrence increases with position
+    assert s.occurrence_index(0, 0, 0) < s.occurrence_index(1, 0, 0)
+    # ops in the same tile at the same position share the occurrence
+    assert s.occurrence_index(1, 0, 0) == s.occurrence_index(1, 3, 1)
+    # later tiles come later
+    assert s.occurrence_index(0, 4, 0) > s.occurrence_index(2, 3, 0)
+
+
+@given(st.integers(1, 8), st.integers(1, 40), st.integers(1, 12),
+       st.integers(1, 16), st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_property_reuse_consistency(positions, terms, filters, rows, cols):
+    """cell_reuse * cells == total_ops, and occurrences are within bounds."""
+    s = TileSchedule(positions=positions, terms=terms, filters=filters,
+                     rows=rows, cols=cols)
+    assert s.cell_reuse * rows * cols == pytest.approx(s.total_ops)
+    last = s.occurrence_index(positions - 1, terms - 1, filters - 1)
+    assert last < s.steps
+
+
+@given(st.integers(1, 30), st.integers(1, 12), st.integers(1, 10),
+       st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_property_cell_assignment_in_range(terms, filters, rows, cols):
+    s = TileSchedule(positions=1, terms=terms, filters=filters,
+                     rows=rows, cols=cols)
+    for t in range(min(terms, 20)):
+        for f in range(min(filters, 8)):
+            r, c = s.cell_for_op(t, f)
+            assert 0 <= r < rows
+            assert 0 <= c < cols

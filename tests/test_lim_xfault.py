@@ -1,0 +1,138 @@
+"""Device-level simulator tests: bit-exact equivalence and fault effects."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import QuantConv2D, QuantDense
+from repro.lim import CrossbarConfig, XFaultSimulator, ideal_device_params
+
+
+def tiny_dense_model(seed=0):
+    model = nn.Sequential([
+        QuantDense(6, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(4, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+    ], name="tiny_dense")
+    model.build((10,), seed=seed)
+    # freeze batch-norm stats at something non-trivial
+    bn = model.layers_of_type(nn.BatchNorm)[0]
+    bn.running_mean[...] = 0.3
+    bn.running_var[...] = 1.5
+    return model
+
+
+def tiny_conv_model(padding="valid", seed=0):
+    model = nn.Sequential([
+        QuantConv2D(4, 3, padding=padding, input_quantizer="ste_sign",
+                    kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        nn.Flatten(),
+        QuantDense(3, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+    ], name="tiny_conv")
+    model.build((6, 6, 2), seed=seed)
+    bn = model.layers_of_type(nn.BatchNorm)[0]
+    bn.running_mean[...] = 0.1
+    bn.running_var[...] = 2.0
+    return model
+
+
+def simulator(model, rows=5, cols=3, gate="imply"):
+    return XFaultSimulator(model, CrossbarConfig(
+        rows=rows, cols=cols, gate_family=gate, device=ideal_device_params()))
+
+
+def test_faultfree_dense_bit_exact(rng):
+    model = tiny_dense_model()
+    sim = simulator(model)
+    x = rng.standard_normal((3, 10)).astype(np.float32)
+    np.testing.assert_array_equal(sim.run(x), model.predict(x))
+
+
+@pytest.mark.parametrize("gate", ["imply", "magic"])
+@pytest.mark.parametrize("padding", ["valid", "same"])
+def test_faultfree_conv_bit_exact(rng, gate, padding):
+    model = tiny_conv_model(padding=padding)
+    sim = simulator(model, gate=gate)
+    x = rng.standard_normal((2, 6, 6, 2)).astype(np.float32)
+    np.testing.assert_array_equal(sim.run(x), model.predict(x))
+
+
+def test_faultfree_with_device_variability(rng):
+    """Default (noisy) device parameters must still read correct levels."""
+    model = tiny_dense_model()
+    sim = XFaultSimulator(model, CrossbarConfig(rows=5, cols=3))
+    x = rng.standard_normal((2, 10)).astype(np.float32)
+    np.testing.assert_array_equal(sim.run(x), model.predict(x))
+
+
+def test_stuck_column_kills_mapped_channels(rng):
+    """A broken column corrupts exactly the channels f ≡ c (mod cols)."""
+    model = tiny_dense_model()
+    sim = simulator(model, rows=10, cols=3)
+    first = model.layers[0]
+    xbar = sim.crossbar_for(first)
+    xbar.inject_column_fault(1, stuck_value=1)
+    x = rng.standard_normal((2, 10)).astype(np.float32)
+
+    clean = first.forward(np.sign(x))
+    # run only the first layer through the simulator by truncating the model
+    faulty = sim._run_mapped(first, x)
+    # channels 1 and 4 ride column 1 (6 filters, 3 columns)
+    corrupted = {f for f in range(6)
+                 if not np.array_equal(clean[:, f], faulty[:, f])}
+    assert corrupted <= {1, 4}
+    assert corrupted  # the fault must actually bite
+    # a stuck-at-1 column makes every product +1: output = reduction length
+    assert (faulty[:, 1] == first.reduction_length()).all()
+
+
+def test_stuck_weight_cell_consistent_across_positions(rng):
+    """A stuck weight cell corrupts the same weight bit at every position."""
+    model = tiny_conv_model()
+    sim = simulator(model, rows=6, cols=2)
+    conv = model.layers[0]
+    xbar = sim.crossbar_for(conv)
+    from repro.lim import CELL_W  # MAGIC weight plane; imply uses CELL_B
+    del CELL_W
+    from repro.lim import CELL_B
+    xbar.cells.set_health((2, 0, CELL_B), 1)  # Health.STUCK_LRS
+
+    x = rng.standard_normal((1, 6, 6, 2)).astype(np.float32)
+    faulty = sim._run_mapped(conv, x)
+    clean = conv.forward(x)
+    diff = faulty - clean
+    # only channels riding column 0 (f ≡ 0 mod 2) may differ
+    assert np.allclose(diff[..., 1::2], 0)
+
+
+def test_crossbar_for_unknown_layer_raises():
+    model = tiny_dense_model()
+    sim = simulator(model)
+    with pytest.raises(KeyError):
+        sim.crossbar_for("nope")
+
+
+def test_unbuilt_model_rejected():
+    model = nn.Sequential([QuantDense(4, input_quantizer="ste_sign")])
+    with pytest.raises(ValueError):
+        XFaultSimulator(model)
+
+
+def test_ops_accounting():
+    model = tiny_dense_model()
+    sim = simulator(model)
+    per_image = sum(layer.xnor_ops_per_image()
+                    for layer in model.layers_of_type(QuantDense))
+    assert sim.total_xnor_ops(batch=4) == 4 * per_image
+    assert sim.driver_steps(batch=1) > 0
+
+
+def test_step_count_advances(rng):
+    model = tiny_dense_model()
+    sim = simulator(model)
+    x = rng.standard_normal((2, 10)).astype(np.float32)
+    sim.run(x)
+    assert sim.step_count > 0

@@ -1,0 +1,117 @@
+"""Gradient and topology tests for the composite zoo blocks."""
+
+import numpy as np
+import pytest
+
+from repro.models.blocks import (DenseBinaryBlock, ImprovementBlock,
+                                 RealToBinaryBlock, ResidualBinaryBlock)
+
+from .conftest import numerical_gradient
+
+
+def build(block, shape, seed=0):
+    block.build(shape, np.random.default_rng(seed))
+    return block
+
+
+def check_input_gradient(block, x, rng, rtol=5e-2, atol=2e-3):
+    """Numerical check of the composite backward pass w.r.t. the input.
+
+    Blocks are built with ``input_quantizer=None`` for this check: with a
+    fixed (binarized) kernel the branch is then smooth in x, so the exact
+    composite gradient (shortcut + conv + batch-norm) is verifiable by
+    finite differences — covering the residual/concat/improve topologies.
+    """
+    probe = rng.standard_normal(block.forward(x, training=True).shape)
+
+    def loss():
+        return float((block.forward(x, training=True) * probe).sum())
+
+    block.forward(x, training=True)
+    dx = block.backward(probe)
+    numeric = numerical_gradient(loss, x, eps=1e-4)
+    np.testing.assert_allclose(dx, numeric, rtol=rtol, atol=atol)
+
+
+def test_residual_shapes_same_channels(rng):
+    block = build(ResidualBinaryBlock(4, name="res"), (6, 6, 4))
+    x = rng.standard_normal((2, 6, 6, 4)).astype(np.float32)
+    out = block.forward(x)
+    assert out.shape == (2, 6, 6, 4)
+    assert block.compute_output_shape((6, 6, 4)) == (6, 6, 4)
+
+
+def test_residual_zero_pad_shortcut(rng):
+    block = build(ResidualBinaryBlock(6, name="res_grow"), (6, 6, 4))
+    x = rng.standard_normal((2, 6, 6, 4)).astype(np.float32)
+    out = block.forward(x)
+    assert out.shape == (2, 6, 6, 6)
+
+
+def test_residual_rejects_channel_shrink():
+    block = ResidualBinaryBlock(2, name="res_bad")
+    with pytest.raises(ValueError):
+        block.build((6, 6, 4), np.random.default_rng(0))
+
+
+def test_residual_identity_contribution(rng):
+    """With an untouched branch, the output must contain x verbatim."""
+    block = build(ResidualBinaryBlock(4, name="res_id"), (6, 6, 4))
+    x = rng.standard_normal((1, 6, 6, 4)).astype(np.float32)
+    out = block.forward(x)
+    branch = block.bn.forward(block.conv.forward(x))
+    np.testing.assert_allclose(out - branch, x, rtol=1e-5)
+
+
+def test_dense_block_concatenates(rng):
+    block = build(DenseBinaryBlock(3, name="dense"), (6, 6, 4))
+    x = rng.standard_normal((2, 6, 6, 4)).astype(np.float32)
+    out = block.forward(x)
+    assert out.shape == (2, 6, 6, 7)
+    np.testing.assert_array_equal(out[..., :4], x)
+    assert block.compute_output_shape((6, 6, 4)) == (6, 6, 7)
+
+
+def test_improvement_block_preserves_shape(rng):
+    block = build(ImprovementBlock(2, name="improve"), (6, 6, 4))
+    x = rng.standard_normal((2, 6, 6, 4)).astype(np.float32)
+    out = block.forward(x)
+    assert out.shape == x.shape
+    # only the newest `delta` channels change
+    np.testing.assert_array_equal(out[..., :2], x[..., :2])
+    assert not np.array_equal(out[..., 2:], x[..., 2:])
+
+
+def test_improvement_block_needs_enough_channels():
+    block = ImprovementBlock(8, name="improve_bad")
+    with pytest.raises(ValueError):
+        block.build((6, 6, 4), np.random.default_rng(0))
+
+
+def test_real_to_binary_has_scale_params(rng):
+    block = build(RealToBinaryBlock(4, name="r2b"), (6, 6, 4))
+    assert "scale" in block.scale.params
+    x = rng.standard_normal((2, 6, 6, 4)).astype(np.float32)
+    assert block.forward(x).shape == (2, 6, 6, 4)
+
+
+def test_sub_layers_expose_parameters():
+    res = build(ResidualBinaryBlock(4, name="res_params"), (6, 6, 4))
+    assert res.num_params() > 0
+    names = [layer.name for layer in res.sub_layers()]
+    assert f"{res.name}_conv" in names
+    assert f"{res.name}_bn" in names
+    r2b = build(RealToBinaryBlock(4, name="r2b_params"), (6, 6, 4))
+    assert len(r2b.sub_layers()) == 3
+
+
+@pytest.mark.parametrize("block_factory,channels", [
+    (lambda: ResidualBinaryBlock(3, input_quantizer=None, name="g_res"), 3),
+    (lambda: DenseBinaryBlock(2, input_quantizer=None, name="g_dense"), 3),
+    (lambda: ImprovementBlock(2, input_quantizer=None, name="g_improve"), 3),
+    (lambda: RealToBinaryBlock(3, input_quantizer=None, name="g_r2b"), 3),
+])
+def test_block_input_gradients(rng, block_factory, channels):
+    block = build(block_factory(), (4, 4, channels))
+    x = rng.standard_normal((2, 4, 4, channels))
+    check_input_gradient(block, x, rng)

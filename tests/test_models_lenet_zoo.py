@@ -1,0 +1,124 @@
+"""Tests for the LeNet and zoo model definitions."""
+
+import numpy as np
+import pytest
+
+from repro.binary import QuantLayer
+from repro.core import mapped_layers
+from repro.models import (LENET_MAPPED_LAYERS, build_lenet, build_model,
+                          compute_stats, format_count, model_names)
+from repro.models.zoo import MODEL_PAPER_STATS
+
+
+def test_lenet_mapped_layer_names():
+    """The mapped layers must be exactly the Fig. 4a legend."""
+    model = build_lenet()
+    names = [layer.name for layer in mapped_layers(model)]
+    assert names == list(LENET_MAPPED_LAYERS)
+
+
+def test_lenet_conv0_is_cmos():
+    model = build_lenet()
+    conv0 = next(l for l in model.layers_of_type(QuantLayer) if l.name == "conv0")
+    assert not conv0.is_mapped
+
+
+def test_lenet_forward_shape(rng):
+    model = build_lenet()
+    x = rng.standard_normal((3, 28, 28, 1)).astype(np.float32)
+    assert model.predict(x).shape == (3, 10)
+
+
+def test_lenet_has_three_convs_two_dense():
+    """Paper: 'three convolutional layers and two dense layers'."""
+    model = build_lenet()
+    quant = model.layers_of_type(QuantLayer)
+    convs = [l for l in quant if l.name.startswith("conv")]
+    denses = [l for l in quant if l.name.startswith("dense")]
+    assert len(convs) == 3
+    assert len(denses) == 2
+
+
+def test_zoo_has_nine_models():
+    assert len(model_names()) == 9
+    assert set(model_names()) == set(MODEL_PAPER_STATS)
+
+
+@pytest.mark.parametrize("name", [
+    "binary_alexnet", "xnornet", "binary_resnet_e18", "birealnet",
+    "real_to_binary", "binary_densenet28", "binary_densenet37",
+    "binary_densenet45", "meliusnet22",
+])
+def test_zoo_model_forward(rng, name):
+    model = build_model(name)
+    x = rng.standard_normal((2, 32, 32, 3)).astype(np.float32)
+    out = model.predict(x)
+    assert out.shape == (2, 10)
+    assert np.isfinite(out).all()
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError):
+        build_model("resnet9000")
+
+
+def test_zoo_models_have_mapped_layers():
+    for name in model_names():
+        model = build_model(name)
+        assert len(mapped_layers(model)) >= 1, name
+
+
+def test_densenet_depth_ordering():
+    """Deeper DenseNets must have more parameters (paper: 45 > 37 > 28)."""
+    p28 = build_model("binary_densenet28").num_params()
+    p37 = build_model("binary_densenet37").num_params()
+    p45 = build_model("binary_densenet45").num_params()
+    assert p28 < p37 < p45
+
+
+def test_stats_binarized_fraction_in_paper_band():
+    """Scaled models must stay in Table II's 90-99% binarized band."""
+    for name in model_names():
+        stats = compute_stats(build_model(name))
+        assert 85.0 <= stats.binarized_percent <= 99.5, (
+            name, stats.binarized_percent)
+
+
+def test_stats_size_counts_binary_as_bits():
+    model = build_lenet()
+    stats = compute_stats(model)
+    expected_bits = stats.binary_params + 32 * (stats.params - stats.binary_params)
+    assert stats.size_mb == pytest.approx(expected_bits / 8 / 1e6)
+
+
+def test_stats_macs_positive():
+    for name in ("binary_alexnet", "binary_densenet28"):
+        assert compute_stats(build_model(name)).macs > 1e6
+
+
+def test_stats_requires_built_model():
+    from repro import nn
+    from repro.models.stats import compute_stats as cs
+    with pytest.raises(ValueError):
+        cs(nn.Sequential([nn.Dense(4)]))
+
+
+def test_format_count():
+    assert format_count(61_800_000) == "61.8M"
+    assert format_count(1_810_000_000) == "1.81B"
+    assert format_count(950) == "950"
+    assert format_count(12_000) == "12K"
+
+
+def test_xnornet_uses_magnitude_aware_kernels():
+    from repro.binary import MagnitudeAwareSign
+    model = build_model("xnornet")
+    quantizers = [l.kernel_quantizer for l in model.layers_of_type(QuantLayer)]
+    assert any(isinstance(q, MagnitudeAwareSign) for q in quantizers)
+
+
+def test_birealnet_uses_approx_sign_inputs():
+    from repro.binary import ApproxSign
+    model = build_model("birealnet")
+    quantizers = [l.input_quantizer for l in model.layers_of_type(QuantLayer)]
+    assert any(isinstance(q, ApproxSign) for q in quantizers)

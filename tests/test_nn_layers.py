@@ -1,0 +1,145 @@
+"""Gradient and behaviour tests for the numpy NN layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+from .conftest import numerical_gradient
+
+
+def build_layer(layer, input_shape, seed=0):
+    layer.build(input_shape, np.random.default_rng(seed))
+    return layer
+
+
+def check_layer_gradients(layer, x, rng, check_params=True):
+    """Probe-weighted scalar loss; compare backward grads vs finite diff."""
+    probe = rng.standard_normal(layer.forward(x, training=True).shape)
+
+    def loss():
+        return float((layer.forward(x, training=True) * probe).sum())
+
+    out = layer.forward(x, training=True)
+    dx = layer.backward((probe).astype(out.dtype))
+    np.testing.assert_allclose(dx, numerical_gradient(loss, x), rtol=2e-2, atol=1e-4)
+    if check_params:
+        for key, param in layer.params.items():
+            np.testing.assert_allclose(
+                layer.grads[key], numerical_gradient(loss, param),
+                rtol=2e-2, atol=1e-4, err_msg=f"param {key}")
+
+
+def test_dense_gradients(rng):
+    layer = build_layer(nn.Dense(4), (3,))
+    for key in layer.params:
+        layer.params[key] = layer.params[key].astype(np.float64)
+    x = rng.standard_normal((5, 3))
+    check_layer_gradients(layer, x, rng)
+
+
+def test_conv2d_gradients(rng):
+    layer = build_layer(nn.Conv2D(2, 3, stride=1, padding="same"), (5, 5, 2))
+    for key in layer.params:
+        layer.params[key] = layer.params[key].astype(np.float64)
+    x = rng.standard_normal((2, 5, 5, 2))
+    check_layer_gradients(layer, x, rng)
+
+
+def test_batchnorm_gradients(rng):
+    layer = build_layer(nn.BatchNorm(), (3,))
+    for key in layer.params:
+        layer.params[key] = layer.params[key].astype(np.float64)
+    x = rng.standard_normal((8, 3))
+    check_layer_gradients(layer, x, rng)
+
+
+def test_channelscale_gradients(rng):
+    layer = build_layer(nn.ChannelScale(), (4,))
+    for key in layer.params:
+        layer.params[key] = layer.params[key].astype(np.float64)
+    x = rng.standard_normal((6, 4))
+    check_layer_gradients(layer, x, rng)
+
+
+def test_batchnorm_running_stats_converge(rng):
+    layer = build_layer(nn.BatchNorm(momentum=0.0), (2,))
+    x = rng.standard_normal((256, 2)) * 3.0 + 1.0
+    layer.forward(x, training=True)
+    np.testing.assert_allclose(layer.running_mean, x.mean(axis=0), atol=1e-6)
+    np.testing.assert_allclose(layer.running_var, x.var(axis=0), atol=1e-6)
+    # inference uses the running stats
+    out = layer.forward(x, training=False)
+    np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-5)
+
+
+def test_batchnorm_4d(rng):
+    layer = build_layer(nn.BatchNorm(), (4, 4, 3))
+    x = rng.standard_normal((2, 4, 4, 3))
+    out = layer.forward(x, training=True)
+    assert out.shape == x.shape
+    np.testing.assert_allclose(out.mean(axis=(0, 1, 2)), 0.0, atol=1e-5)
+
+
+def test_sign_forward_bipolar():
+    layer = nn.Sign()
+    x = np.array([-2.0, -0.0, 0.0, 0.5, 3.0])
+    out = layer.forward(x)
+    assert set(np.unique(out)) <= {-1.0, 1.0}
+    assert out[2] == 1.0  # sign(0) = +1 convention
+
+
+def test_sign_ste_gradient_window():
+    layer = nn.Sign()
+    x = np.array([-2.0, -0.5, 0.5, 2.0])
+    layer.forward(x, training=True)
+    grad = layer.backward(np.ones_like(x))
+    np.testing.assert_array_equal(grad, [0.0, 1.0, 1.0, 0.0])
+
+
+def test_relu(rng):
+    layer = nn.ReLU()
+    x = rng.standard_normal((4, 4))
+    out = layer.forward(x, training=True)
+    assert (out >= 0).all()
+    grad = layer.backward(np.ones_like(x))
+    np.testing.assert_array_equal(grad, (x > 0).astype(float))
+
+
+def test_flatten_roundtrip(rng):
+    layer = nn.Flatten()
+    x = rng.standard_normal((2, 3, 3, 4))
+    out = layer.forward(x, training=True)
+    assert out.shape == (2, 36)
+    back = layer.backward(out)
+    assert back.shape == x.shape
+
+
+def test_global_avg_pool(rng):
+    layer = nn.GlobalAvgPool2D()
+    x = rng.standard_normal((2, 4, 4, 3))
+    out = layer.forward(x, training=True)
+    np.testing.assert_allclose(out, x.mean(axis=(1, 2)))
+    dx = layer.backward(np.ones_like(out))
+    np.testing.assert_allclose(dx, np.full_like(x, 1 / 16))
+
+
+def test_maxpool_layer_shapes(rng):
+    layer = nn.MaxPool2D(2)
+    assert layer.compute_output_shape((8, 8, 5)) == (4, 4, 5)
+    x = rng.standard_normal((1, 8, 8, 5))
+    out = layer.forward(x, training=True)
+    assert out.shape == (1, 4, 4, 5)
+    assert layer.backward(np.ones_like(out)).shape == x.shape
+
+
+def test_layer_names_unique():
+    a, b = nn.Dense(3), nn.Dense(3)
+    assert a.name != b.name
+
+
+def test_conv_output_shape_padding_modes():
+    conv = nn.Conv2D(8, 5, stride=1, padding="valid")
+    assert conv.compute_output_shape((28, 28, 1)) == (24, 24, 8)
+    conv_same = nn.Conv2D(8, 3, stride=2, padding="same")
+    assert conv_same.compute_output_shape((28, 28, 1)) == (14, 14, 8)

@@ -1,0 +1,98 @@
+"""End-to-end training sanity tests for the numpy engine."""
+
+import numpy as np
+
+from repro import nn
+
+
+def blobs(rng, n_per_class=60, classes=3, dim=4, spread=0.5):
+    centers = rng.standard_normal((classes, dim)) * 3
+    xs, ys = [], []
+    for c in range(classes):
+        xs.append(centers[c] + rng.standard_normal((n_per_class, dim)) * spread)
+        ys.append(np.full(n_per_class, c))
+    x = np.concatenate(xs).astype(np.float32)
+    y = np.concatenate(ys)
+    order = rng.permutation(len(x))
+    return x[order], y[order]
+
+
+def test_trainer_learns_blobs(rng):
+    x, y = blobs(rng)
+    model = nn.Sequential([nn.Dense(16), nn.ReLU(), nn.Dense(3)]).build((4,), seed=0)
+    trainer = nn.Trainer(nn.Adam(0.01), seed=0)
+    history = trainer.fit(model, x, y, epochs=15, batch_size=32)
+    assert history.train_accuracy[-1] > 0.95
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_trainer_sgd_also_learns(rng):
+    x, y = blobs(rng)
+    model = nn.Sequential([nn.Dense(16), nn.ReLU(), nn.Dense(3)]).build((4,), seed=1)
+    trainer = nn.Trainer(nn.SGD(0.05, momentum=0.9), seed=0)
+    history = trainer.fit(model, x, y, epochs=15, batch_size=32)
+    assert history.train_accuracy[-1] > 0.9
+
+
+def test_trainer_tracks_validation(rng):
+    x, y = blobs(rng)
+    model = nn.Sequential([nn.Dense(8), nn.ReLU(), nn.Dense(3)]).build((4,), seed=0)
+    trainer = nn.Trainer(nn.Adam(0.01), seed=0)
+    history = trainer.fit(model, x[:120], y[:120], epochs=3,
+                          x_val=x[120:], y_val=y[120:])
+    assert len(history.val_accuracy) == 3
+
+
+def test_losses_softmax_cross_entropy_gradient(rng):
+    from repro.nn.losses import softmax_cross_entropy
+    from .conftest import numerical_gradient
+
+    logits = rng.standard_normal((5, 4))
+    labels = rng.integers(0, 4, 5)
+
+    def loss():
+        return softmax_cross_entropy(logits, labels)[0]
+
+    _, grad = softmax_cross_entropy(logits.copy(), labels)
+    np.testing.assert_allclose(grad, numerical_gradient(loss, logits),
+                               rtol=1e-3, atol=1e-6)
+
+
+def test_losses_hinge_nonnegative(rng):
+    from repro.nn.losses import hinge_loss
+    logits = rng.standard_normal((6, 3))
+    labels = rng.integers(0, 3, 6)
+    value, grad = hinge_loss(logits, labels)
+    assert value >= 0
+    assert grad.shape == logits.shape
+
+
+def test_softmax_rows_sum_to_one(rng):
+    from repro.nn.losses import softmax
+    probs = softmax(rng.standard_normal((7, 9)) * 10)
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-6)
+    assert (probs >= 0).all()
+
+
+def test_conv_model_trains_on_tiny_images(rng):
+    """A small conv net must fit a trivially separable image task."""
+    n = 120
+    x = np.zeros((n, 8, 8, 1), dtype=np.float32)
+    y = np.zeros(n, dtype=int)
+    for i in range(n):
+        if i % 2 == 0:
+            x[i, :4, :, 0] = 1.0  # top-half bright -> class 0
+        else:
+            x[i, 4:, :, 0] = 1.0  # bottom-half bright -> class 1
+            y[i] = 1
+    x += rng.standard_normal(x.shape).astype(np.float32) * 0.05
+    model = nn.Sequential([
+        nn.Conv2D(4, 3, padding="same"),
+        nn.ReLU(),
+        nn.MaxPool2D(2),
+        nn.Flatten(),
+        nn.Dense(2),
+    ]).build((8, 8, 1), seed=0)
+    trainer = nn.Trainer(nn.Adam(0.01), seed=0)
+    history = trainer.fit(model, x, y, epochs=5, batch_size=20)
+    assert history.train_accuracy[-1] > 0.95

@@ -1,0 +1,89 @@
+"""Fault-aware training — the paper's future-work feature.
+
+"In the future, we want to extend the capabilities of FLIM to inject
+faults during training."  The hook architecture already supports it: an
+attached plan corrupts the forward pass during training, so the latent
+weights adapt around the (persistent) faults.  These tests pin down that
+the mechanism works end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import QuantDense
+from repro.core import (FaultGenerator, FaultInjector, FaultSpec,
+                        StuckPolarity)
+
+
+def make_task(rng, n=400):
+    x = rng.choice([-1.0, 1.0], size=(n, 12)).astype(np.float32)
+    y = (x[:, :6].sum(axis=1) > 0).astype(int)
+    return x, y
+
+
+def make_model(seed=0):
+    # explicit layer names so fault plans transfer across model instances
+    return nn.Sequential([
+        QuantDense(24, input_quantizer="ste_sign", kernel_quantizer="ste_sign",
+                   name="ft_hidden"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(2, input_quantizer="ste_sign", kernel_quantizer="ste_sign",
+                   name="ft_readout"),
+        nn.BatchNorm(),
+    ]).build((12,), seed=seed)
+
+
+def test_training_runs_with_injector_attached(rng):
+    """Gradients must flow through the fault hooks without errors."""
+    x, y = make_task(rng)
+    model = make_model()
+    generator = FaultGenerator(FaultSpec.stuck_at(0.1), rows=8, cols=4, seed=0)
+    plan = generator.generate(model)
+    injector = FaultInjector()
+    with injector.injecting(model, plan):
+        history = nn.Trainer(nn.Adam(0.01), seed=0).fit(
+            model, x, y, epochs=5, batch_size=32)
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_fault_aware_training_adapts_to_permanent_faults(rng):
+    """Training *with* the faults present must beat training without,
+    when both are evaluated under the same persistent fault plan."""
+    x, y = make_task(rng, n=600)
+    x_train, y_train, x_test, y_test = x[:400], y[:400], x[400:], y[400:]
+    spec = FaultSpec.stuck_at(0.25, polarity=StuckPolarity.RANDOM)
+
+    # one fixed fault plan (permanent hardware defects)
+    reference = make_model(seed=0)
+    plan = FaultGenerator(spec, rows=8, cols=4, seed=42).generate(reference)
+
+    # baseline: train clean, deploy on faulty hardware
+    clean_model = make_model(seed=0)
+    nn.Trainer(nn.Adam(0.01), seed=0).fit(clean_model, x_train, y_train,
+                                          epochs=15, batch_size=32)
+    with FaultInjector().injecting(clean_model, plan):
+        clean_trained_acc = clean_model.evaluate(x_test, y_test)
+
+    # fault-aware: train with the same faults injected
+    aware_model = make_model(seed=0)
+    with FaultInjector().injecting(aware_model, plan):
+        nn.Trainer(nn.Adam(0.01), seed=0).fit(aware_model, x_train, y_train,
+                                              epochs=15, batch_size=32)
+        aware_acc = aware_model.evaluate(x_test, y_test)
+
+    assert aware_acc >= clean_trained_acc - 0.02
+
+
+def test_detach_after_training_restores_clean_path(rng):
+    x, y = make_task(rng)
+    model = make_model()
+    generator = FaultGenerator(FaultSpec.bitflip(0.2), rows=8, cols=4, seed=1)
+    injector = FaultInjector()
+    injector.attach(model, generator.generate(model))
+    nn.Trainer(nn.Adam(0.01), seed=0).fit(model, x, y, epochs=2, batch_size=32)
+    injector.detach()
+    for layer in model.layers_of_type(QuantDense):
+        assert layer.output_fault_hook is None
+        assert layer.kernel_fault_hook is None
