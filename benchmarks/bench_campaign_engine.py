@@ -1,0 +1,169 @@
+"""Campaign-engine benchmark: seed serial loop vs the job-based engine.
+
+Runs a Fig. 4a-style sweep (bit-flip rates × repetitions on the trained
+binary LeNet / synthetic MNIST) through
+
+* the **seed** execution strategy — the pre-engine serial triple loop:
+  per-repetition fault generation inside the loop, a fresh injector
+  mapping per attach, a full ``model.evaluate`` per repetition and a
+  baseline recomputation per ``run()``;
+* the job-based **engine** (``repro.core.engine``) in every
+  executor × backend combination.
+
+All strategies must agree bit-for-bit; the script fails (exit code 1) if
+they do not, so the reported speedups are guaranteed to be
+like-for-like.  Results are written as JSON for trend tracking::
+
+    python benchmarks/bench_campaign_engine.py --quick --json out.json
+
+Usage (full protocol: 4 rates x 10 repeats, 800 test images)::
+
+    python benchmarks/bench_campaign_engine.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (FaultCampaign, FaultGenerator, FaultInjector,  # noqa: E402
+                        FaultSpec)
+from repro.experiments.common import get_mnist, trained_lenet  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "artifacts" / "results"
+
+
+def seed_engine_run(model, x_test, y_test, xs, repeats, seed,
+                    rows=40, cols=10, batch_size=256):
+    """The seed repo's FaultCampaign.run, replicated strategy-for-strategy."""
+    injector = FaultInjector(True)
+    injector._mapping_cache = _NoCache()  # seed rebuilt mappings per attach
+    accuracies = np.zeros((len(xs), repeats), dtype=np.float64)
+    for i, x_value in enumerate(xs):
+        specs = FaultSpec.bitflip(x_value)
+        for j in range(repeats):
+            generator = FaultGenerator(specs, rows=rows, cols=cols,
+                                       seed=seed + 7919 * j + 104729 * i)
+            plan = generator.generate(model)
+            with injector.injecting(model, plan):
+                accuracies[i, j] = model.evaluate(x_test, y_test, batch_size)
+    baseline = model.evaluate(x_test, y_test, batch_size)  # per-run recompute
+    return accuracies, baseline
+
+
+class _NoCache(dict):
+    """A dict that forgets: restores the seed's per-attach mapping rebuild."""
+
+    def __setitem__(self, key, value):
+        pass
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid (2 rates x 3 repeats, 200 images) "
+                             "for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--images", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="workers for the multiprocessing executor "
+                             "(default: cpu count)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="output path (default: "
+                             "artifacts/results/bench_campaign_engine.json)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        rates = [0.0, 0.2]
+        repeats = args.repeats or 3
+        images = args.images or 200
+    else:
+        rates = [0.0, 0.1, 0.2, 0.3]
+        repeats = args.repeats or 10
+        images = args.images or 800
+    seed = 0
+
+    model = trained_lenet()
+    _, test = get_mnist()
+    test = test.subset(images)
+    n_jobs = args.jobs or os.cpu_count() or 1
+
+    print(f"grid: {len(rates)} rates x {repeats} repeats on {images} images "
+          f"(cpu count {os.cpu_count()})")
+
+    (seed_acc, seed_baseline), seed_time = timed(
+        seed_engine_run, model, test.x, test.y, rates, repeats, seed)
+    print(f"seed serial engine          : {seed_time:7.2f} s")
+
+    timings: dict[str, float] = {"seed_serial": seed_time}
+    mismatches: list[str] = []
+    for executor, backend in [("serial", "float"), ("serial", "packed"),
+                              ("multiprocessing", "float"),
+                              ("multiprocessing", "packed")]:
+        campaign = FaultCampaign(model, test.x, test.y, executor=executor,
+                                 n_jobs=n_jobs, backend=backend)
+        result, duration = timed(
+            campaign.run, FaultSpec.bitflip, xs=rates, repeats=repeats,
+            seed=seed)
+        key = f"engine_{executor}_{backend}"
+        timings[key] = duration
+        identical = (np.array_equal(result.accuracies, seed_acc)
+                     and result.baseline == seed_baseline)
+        if not identical:
+            mismatches.append(key)
+        print(f"engine {executor:16s}/{backend:6s}: {duration:7.2f} s  "
+              f"bit-identical={identical}")
+    model.set_execution_backend("float")
+
+    report = {
+        "protocol": {"rates": rates, "repeats": repeats, "images": images,
+                     "seed": seed, "model": "binary_lenet",
+                     "dataset": "synth_mnist"},
+        "machine": {"cpu_count": os.cpu_count(),
+                    "platform": platform.platform(),
+                    "python": platform.python_version(),
+                    "numpy": np.__version__},
+        "timings_s": {k: round(v, 4) for k, v in timings.items()},
+        "speedup_vs_seed": {
+            k: round(timings["seed_serial"] / v, 2)
+            for k, v in timings.items() if k != "seed_serial"},
+        "serial_vs_parallel": round(
+            timings["engine_serial_float"]
+            / timings["engine_multiprocessing_float"], 2),
+        "float_vs_packed": round(
+            timings["engine_serial_float"] / timings["engine_serial_packed"],
+            2),
+        "n_jobs": n_jobs,
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+    out = args.json or (RESULTS_DIR / "bench_campaign_engine.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nbest speedup vs seed engine: "
+          f"{max(report['speedup_vs_seed'].values()):.2f}x")
+    print(f"[json] {out}")
+    if mismatches:
+        print(f"FAIL: results diverged for {mismatches}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

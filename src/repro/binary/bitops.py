@@ -3,9 +3,14 @@
 These kernels compute the same binary GEMM as the float path but in the
 integer domain the hardware actually operates in: bipolar {-1, +1} values
 are packed 64-per-word (+1 -> bit 1), products become XNOR, and the
-accumulation becomes ``K - 2 * popcount(xor)``.  They back the ablation
-benchmark comparing packed-integer vs float-GEMM execution and serve as an
-independent oracle for the binary layers.
+accumulation becomes ``K - 2 * popcount(xor)``.
+
+Beyond serving as an independent oracle for the binary layers, they are an
+execution backend: :mod:`repro.binary.layers` runs its dense/conv forward
+passes through :func:`packed_matmul_words` when a layer's execution backend
+is set to ``"packed"``.  Because every partial sum of ±1 terms is a small
+integer (|sum| <= K < 2**24), the float32 GEMM is exact too — the packed
+path is bit-identical to it, just ~64x denser in memory traffic.
 """
 
 from __future__ import annotations
@@ -14,12 +19,33 @@ import numpy as np
 
 __all__ = [
     "pack_bipolar",
+    "pack_bits",
+    "pack_sign",
     "unpack_bipolar",
     "xnor_accumulate",
+    "packed_matmul_words",
     "binary_matmul",
 ]
 
 _WORD = 64
+_BLOCK_WORDS = 1 << 21  # ~16 MiB of uint64 XOR temporary per GEMM block
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a uint8 {0,1} array along its last axis into uint64 words.
+
+    Bit ``k`` of the packed stream is element ``k`` of the input (pad bits
+    are 0).  Uses ``np.packbits`` + a little-endian uint64 view, which is
+    an order of magnitude faster than the shift-and-sum formulation.
+    """
+    length = bits.shape[-1]
+    pad = (-length) % _WORD
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1)
+    packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    words = np.ascontiguousarray(packed_bytes).view(np.dtype("<u8"))
+    return words.astype(np.uint64, copy=False)
 
 
 def pack_bipolar(x: np.ndarray) -> tuple[np.ndarray, int]:
@@ -32,15 +58,18 @@ def pack_bipolar(x: np.ndarray) -> tuple[np.ndarray, int]:
     if not np.all(np.abs(x) == 1):
         raise ValueError("pack_bipolar expects values in {-1, +1}")
     bits = (x > 0).astype(np.uint8)
-    length = bits.shape[-1]
-    pad = (-length) % _WORD
-    if pad:
-        bits = np.concatenate(
-            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1)
-    words = bits.reshape(bits.shape[:-1] + (-1, _WORD))
-    weights = (np.uint64(1) << np.arange(_WORD, dtype=np.uint64))
-    packed = (words.astype(np.uint64) * weights).sum(axis=-1, dtype=np.uint64)
-    return packed, length
+    return pack_bits(bits), x.shape[-1]
+
+
+def pack_sign(x: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack ``sign(x)`` (with sign(0) = +1, the Larq convention) directly.
+
+    Equivalent to ``pack_bipolar(ste_sign(x))`` without materializing the
+    intermediate ±1 float array — the packed fast path quantizes and packs
+    activations in one pass.
+    """
+    bits = (x >= 0).astype(np.uint8)
+    return pack_bits(bits), x.shape[-1]
 
 
 def unpack_bipolar(packed: np.ndarray, length: int) -> np.ndarray:
@@ -61,9 +90,35 @@ def xnor_accumulate(a_packed: np.ndarray, b_packed: np.ndarray, length: int) -> 
     """
     xor = np.bitwise_xor(a_packed, b_packed)
     mismatches = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
-    pad = (-length) % _WORD
-    del pad  # pad bits are 0 in both operands, so they never mismatch
     return (length - 2 * mismatches).astype(np.int64)
+
+
+def packed_matmul_words(a_words: np.ndarray, b_words: np.ndarray,
+                        length: int) -> np.ndarray:
+    """Binary GEMM on pre-packed operands: ``(m, w) x (n, w) -> (m, n)``.
+
+    ``a_words`` holds ``m`` packed rows, ``b_words`` ``n`` packed rows (the
+    *transposed* right operand), both ``w = ceil(length/64)`` words wide.
+    Row blocks bound the XOR temporary to ~``_BLOCK_WORDS`` words so large
+    im2col matrices do not blow up memory.
+    """
+    m = a_words.shape[0]
+    n = b_words.shape[0]
+    words = a_words.shape[-1]
+    out = np.empty((m, n), dtype=np.int64)
+    block = max(1, _BLOCK_WORDS // max(1, n))
+    mismatches = np.zeros((min(block, m), n), dtype=np.int64)
+    for start in range(0, m, block):
+        stop = min(start + block, m)
+        acc = mismatches[:stop - start]
+        acc[...] = 0
+        # accumulate word-by-word: keeps temporaries at (block, n) instead
+        # of (block, n, words) and beats the broadcast+reduce formulation
+        for wi in range(words):
+            acc += np.bitwise_count(a_words[start:stop, wi, None]
+                                    ^ b_words[None, :, wi])
+        out[start:stop] = length - 2 * acc
+    return out
 
 
 def binary_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -73,9 +128,4 @@ def binary_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """
     a_packed, length = pack_bipolar(a)
     b_packed, _ = pack_bipolar(np.ascontiguousarray(b.T))
-    out = np.empty((a.shape[0], b.shape[1]), dtype=np.int64)
-    for row in range(a.shape[0]):
-        xor = np.bitwise_xor(a_packed[row][None, :], b_packed)
-        mismatches = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
-        out[row] = length - 2 * mismatches
-    return out
+    return packed_matmul_words(a_packed, b_packed, length)

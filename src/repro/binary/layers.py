@@ -26,6 +26,37 @@ DESIGN.md §3:
     with the bipolar im2col matrix and kernel so individual XNOR products
     can be corrupted.  Slower (forces the explicit GEMM formulation);
     used for verification and ablation.
+
+Execution backends
+------------------
+Every quantized layer carries an ``execution_backend`` attribute:
+
+``"float"`` (default)
+    im2col + float32 GEMM.  Exact: every partial sum of ±1 terms is a
+    small integer, so float32 accumulation never rounds.
+
+``"packed"``
+    The inference fast path: operands are bit-packed 64-per-uint64 word
+    and the GEMM runs as XNOR + popcount
+    (:func:`repro.binary.bitops.packed_matmul_words`), the arithmetic the
+    LIM crossbar natively performs.  Weights are packed once per fault
+    plan and cached; activations are packed per batch.  The packed path is
+    bit-identical to the float path and composes with the kernel and
+    output fault hooks (weight stuck-at masks are applied to the binary
+    kernel *before* packing).  Layers fall back to the float path
+    automatically whenever packed semantics cannot express the
+    computation: during training, when a product-level hook is attached,
+    when a quantizer is not strictly binary (XNOR-Net's magnitude-aware
+    gain), or for ``same``-padded convolutions (zero padding has no
+    bipolar encoding).
+
+Inference input caching: when a layer sees a *read-only* input array
+(``x.flags.writeable == False``) at inference time, it memoizes the
+derived im2col / packed representation keyed on array identity.  The
+campaign engine exploits this by replaying the same read-only activation
+batches across repetitions — the expensive patch extraction and packing
+then happen once per campaign instead of once per repetition.  Writeable
+arrays are never cached, so ordinary training/prediction is unaffected.
 """
 
 from __future__ import annotations
@@ -34,9 +65,12 @@ import numpy as np
 
 from ..nn import initializers, ops
 from ..nn.layers import Layer
-from . import quantizers
+from . import bitops, quantizers
 
 __all__ = ["QuantLayer", "QuantConv2D", "QuantDense"]
+
+#: maximum memoized read-only input representations per layer
+_INPUT_CACHE_SLOTS = 8
 
 
 class QuantLayer(Layer):
@@ -50,13 +84,22 @@ class QuantLayer(Layer):
         self.kernel_fault_hook = None
         self.output_fault_hook = None
         self.product_fault_hook = None
+        self.execution_backend = "float"
         self._built_input_shape: tuple[int, ...] | None = None
+        #: (kernel_fault_hook token, packed words | None, reduction length)
+        self._packed_kernel_cache: tuple | None = None
+        #: [(tag, input array, derived representation), ...] — newest last
+        self._input_cache: list[tuple] = []
 
     # -- fault-injection plumbing ---------------------------------------
     def clear_fault_hooks(self) -> None:
         self.kernel_fault_hook = None
         self.output_fault_hook = None
         self.product_fault_hook = None
+
+    def _invalidate_caches(self) -> None:
+        """Drop derived-weight caches (call after in-place weight updates)."""
+        self._packed_kernel_cache = None
 
     def _apply_kernel_hook(self, qkernel: np.ndarray) -> np.ndarray:
         if self.kernel_fault_hook is None:
@@ -78,6 +121,48 @@ class QuantLayer(Layer):
             binary, gain = self.kernel_quantizer.split(kernel)
             return self._apply_kernel_hook(binary) * gain
         return self._apply_kernel_hook(self.kernel_quantizer.quantize(kernel))
+
+    # -- packed fast path -------------------------------------------------
+    def _packed_eligible(self) -> bool:
+        """Whether the packed XNOR/popcount backend can run this layer."""
+        return (self.execution_backend == "packed"
+                and self.product_fault_hook is None
+                and getattr(self.input_quantizer, "strictly_binary", False)
+                and getattr(self.kernel_quantizer, "strictly_binary", False))
+
+    def _packed_kernel_words(self) -> tuple[np.ndarray | None, int]:
+        """Packed (transposed) binary kernel, cached per fault-hook state.
+
+        The cache token is the kernel-hook object itself: attaching or
+        detaching a fault plan swaps the hook and thereby forces a repack,
+        while repeated inference under one plan packs exactly once.
+        Returns ``(None, 0)`` when the hooked kernel is not bipolar.
+        """
+        token = self.kernel_fault_hook
+        cache = self._packed_kernel_cache
+        if cache is not None and cache[0] is token:
+            return cache[1], cache[2]
+        qkernel = self._quantize_kernel()
+        flat = qkernel.reshape(-1, qkernel.shape[-1])
+        try:
+            words, length = bitops.pack_bipolar(np.ascontiguousarray(flat.T))
+        except ValueError:
+            words, length = None, 0
+        self._packed_kernel_cache = (token, words, length)
+        return words, length
+
+    def _input_cache_get(self, tag: str, x: np.ndarray):
+        for entry_tag, entry_x, value in self._input_cache:
+            if entry_tag == tag and entry_x is x:
+                return value
+        return None
+
+    def _input_cache_put(self, tag: str, x: np.ndarray, value) -> None:
+        if x.flags.writeable:
+            return  # only immutable-by-contract arrays are safe to memoize
+        self._input_cache.append((tag, x, value))
+        if len(self._input_cache) > _INPUT_CACHE_SLOTS:
+            self._input_cache.pop(0)
 
     # -- LIM geometry ----------------------------------------------------
     @property
@@ -170,18 +255,55 @@ class QuantConv2D(QuantLayer):
     def output_channels(self):
         return self.filters
 
+    def _forward_packed(self, x) -> np.ndarray | None:
+        """Packed XNOR/popcount convolution; ``None`` -> float fallback.
+
+        ``same`` padding injects zeros into the im2col matrix, which have
+        no bipolar encoding — only ``valid`` convolutions run packed.
+        """
+        if self.padding != "valid":
+            return None
+        kwords, length = self._packed_kernel_words()
+        if kwords is None:
+            return None
+        cached = self._input_cache_get("packed", x)
+        if cached is None:
+            # sign-threshold first: im2col then gathers uint8, not float32,
+            # and packing happens directly from the {0,1} bit planes
+            bits = (x >= 0).astype(np.uint8)
+            cols_bits, (oh, ow) = ops.im2col(
+                bits, self.kernel_size, self.kernel_size, self.stride,
+                self.padding)
+            cached = (bitops.pack_bits(cols_bits), (oh, ow))
+            self._input_cache_put("packed", x, cached)
+        xwords, (oh, ow) = cached
+        flat = bitops.packed_matmul_words(xwords, kwords, length)
+        return flat.astype(np.float32).reshape(x.shape[0], oh, ow, self.filters)
+
     def forward(self, x, training=False):
-        qx = self.input_quantizer.quantize(x) if self.input_quantizer else x
+        if not training and self._packed_eligible():
+            out = self._forward_packed(x)
+            if out is not None:
+                out = self._apply_output_hook(out)
+                if self.use_bias:
+                    out = out + self.params["bias"]
+                return out
         qkernel = self._quantize_kernel()
-        if self.product_fault_hook is None:
-            out = ops.conv2d(qx, qkernel, self.stride, self.padding)
+        cached = None if training else self._input_cache_get("cols", x)
+        if cached is None:
+            qx = self.input_quantizer.quantize(x) if self.input_quantizer else x
+            cached = ops.im2col(qx, self.kernel_size, self.kernel_size,
+                                self.stride, self.padding)
+            if not training:
+                self._input_cache_put("cols", x, cached)
         else:
-            cols, (oh, ow) = ops.im2col(
-                qx, self.kernel_size, self.kernel_size, self.stride, self.padding)
-            qw = qkernel.reshape(-1, self.filters)
-            flat = cols @ qw
+            qx = None
+        cols, (oh, ow) = cached
+        qw = qkernel.reshape(-1, self.filters)
+        flat = cols @ qw
+        if self.product_fault_hook is not None:
             flat = self.product_fault_hook(flat, cols, qw, self)
-            out = flat.reshape(x.shape[0], oh, ow, self.filters)
+        out = flat.reshape(x.shape[0], oh, ow, self.filters)
         out = self._apply_output_hook(out)
         if self.use_bias:
             out = out + self.params["bias"]
@@ -191,6 +313,7 @@ class QuantConv2D(QuantLayer):
 
     def backward(self, dout):
         x, qx, qkernel = self._cache
+        self._invalidate_caches()  # weights change right after this pass
         if self.use_bias:
             self.grads["bias"][...] = dout.sum(axis=(0, 1, 2))
         dqx, dqkernel = ops.conv2d_backward(
@@ -240,7 +363,26 @@ class QuantDense(QuantLayer):
     def output_channels(self):
         return self.units
 
+    def _forward_packed(self, x) -> np.ndarray | None:
+        """Packed XNOR/popcount matmul; ``None`` -> float fallback."""
+        kwords, length = self._packed_kernel_words()
+        if kwords is None:
+            return None
+        xwords = self._input_cache_get("packed", x)
+        if xwords is None:
+            xwords, _ = bitops.pack_sign(x)
+            self._input_cache_put("packed", x, xwords)
+        flat = bitops.packed_matmul_words(xwords, kwords, length)
+        return flat.astype(np.float32)
+
     def forward(self, x, training=False):
+        if not training and self._packed_eligible():
+            out = self._forward_packed(x)
+            if out is not None:
+                out = self._apply_output_hook(out)
+                if self.use_bias:
+                    out = out + self.params["bias"]
+                return out
         qx = self.input_quantizer.quantize(x) if self.input_quantizer else x
         qkernel = self._quantize_kernel()
         out = qx @ qkernel
@@ -255,6 +397,7 @@ class QuantDense(QuantLayer):
 
     def backward(self, dout):
         x, qx, qkernel = self._cache
+        self._invalidate_caches()  # weights change right after this pass
         if self.use_bias:
             self.grads["bias"][...] = dout.sum(axis=0)
         dqkernel = qx.T @ dout

@@ -91,13 +91,18 @@ def _cmd_sweep(args) -> int:
     model = trained_lenet()
     _, test = get_mnist()
     test = test.subset(args.images)
+    serial = args.jobs is None or args.jobs == 1
     campaign = FaultCampaign(model, test.x, test.y,
-                             rows=args.rows, cols=args.cols)
+                             rows=args.rows, cols=args.cols,
+                             executor="serial" if serial else "multiprocessing",
+                             n_jobs=args.jobs or None,
+                             backend=args.backend)
     spec_factory = (FaultSpec.bitflip if args.fault == "bitflip"
                     else FaultSpec.stuck_at)
     result = campaign.run(spec_factory, xs=args.rates, repeats=args.repeats,
                           label=args.fault)
-    print(f"baseline: {100 * result.baseline:.1f}%")
+    print(f"baseline: {100 * result.baseline:.1f}%  "
+          f"[{result.meta['executor']}/{result.meta['backend']}]")
     rows = [(f"{x:g}", f"{100 * m:.1f}", f"{100 * s:.1f}")
             for x, m, s in result.as_rows()]
     print(markdown_table(["rate", "accuracy %", "std %"], rows))
@@ -173,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--images", type=int, default=300)
     p_sweep.add_argument("--rows", type=int, default=40)
     p_sweep.add_argument("--cols", type=int, default=10)
+    p_sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="run the campaign on N worker processes "
+                              "(default: 1 = in-process serial; 0 = all cores)")
+    p_sweep.add_argument("--backend", default="float",
+                         choices=["float", "packed"],
+                         help="inference backend: float GEMM or packed "
+                              "uint64 XNOR/popcount (bit-identical)")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_t1 = sub.add_parser("table1", help="experimental setup (Table I)")

@@ -10,6 +10,8 @@ sweep-with-repetitions protocol of §IV.
 from .campaign import FaultCampaign, SweepResult
 from .detection import (majority_vote_predict, march_test,
                         masks_from_detection, remap_columns)
+from .engine import (CampaignEvaluator, CampaignJob, MultiprocessingExecutor,
+                     SerialExecutor, build_jobs, get_executor, plan_has_faults)
 from .faults import FaultSpec, FaultType, Semantics, StuckPolarity
 from .generator import FaultGenerator, FaultPlan, mapped_layers
 from .injector import FaultInjector
@@ -26,6 +28,8 @@ __all__ = [
     "FaultGenerator", "FaultPlan", "mapped_layers",
     "FaultInjector",
     "FaultCampaign", "SweepResult",
+    "CampaignJob", "CampaignEvaluator", "SerialExecutor",
+    "MultiprocessingExecutor", "build_jobs", "get_executor", "plan_has_faults",
     "save_fault_vectors", "load_fault_vectors",
     "march_test", "masks_from_detection", "remap_columns",
     "majority_vote_predict",

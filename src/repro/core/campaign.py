@@ -6,6 +6,12 @@ generator with a new seed value." — §IV.  A campaign sweeps one
 experimental knob (injection rate, dynamic period, faulty-line count),
 repeating each point with fresh seeds, and returns the accuracy samples
 for aggregation.
+
+Execution is delegated to :mod:`repro.core.engine`: the sweep grid is
+flattened into independent jobs with pre-generated fault plans and run
+through a pluggable executor (``serial`` or ``multiprocessing``) on a
+float or bit-packed inference backend.  All four combinations are
+bit-identical under fixed seeds.
 """
 
 from __future__ import annotations
@@ -16,9 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..nn.model import Sequential
+from .engine import CampaignEvaluator, build_jobs, get_executor
 from .faults import FaultSpec
-from .generator import FaultGenerator
-from .injector import FaultInjector
 
 __all__ = ["SweepResult", "FaultCampaign"]
 
@@ -60,11 +65,25 @@ class SweepResult:
 
 
 class FaultCampaign:
-    """Runs accuracy-vs-fault sweeps on a fixed model and dataset."""
+    """Runs accuracy-vs-fault sweeps on a fixed model and dataset.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"multiprocessing"``, or an executor
+        object with a ``run(jobs, evaluator)`` method.
+    n_jobs:
+        Worker count for the multiprocessing executor; ``None`` means
+        ``os.cpu_count()``.
+    backend:
+        ``"float"`` or ``"packed"`` — see :mod:`repro.binary.layers`.
+    """
 
     def __init__(self, model: Sequential, x_test: np.ndarray, y_test: np.ndarray,
                  rows: int = 40, cols: int = 10, batch_size: int = 256,
-                 continue_time_across_layers: bool = True):
+                 continue_time_across_layers: bool = True,
+                 executor: str | object = "serial", n_jobs: int | None = None,
+                 backend: str = "float"):
         self.model = model
         self.x_test = x_test
         self.y_test = y_test
@@ -72,10 +91,27 @@ class FaultCampaign:
         self.cols = cols
         self.batch_size = batch_size
         self.continue_time = continue_time_across_layers
+        self.backend = backend
+        self._executor = get_executor(executor, n_jobs)
+        self._evaluator = CampaignEvaluator(
+            model, x_test, y_test, batch_size=batch_size,
+            continue_time_across_layers=continue_time_across_layers,
+            backend=backend)
 
     def baseline_accuracy(self) -> float:
-        """Fault-free accuracy (FLIM with no faults == vanilla)."""
-        return self.model.evaluate(self.x_test, self.y_test, self.batch_size)
+        """Fault-free accuracy (FLIM with no faults == vanilla).
+
+        Computed once per campaign — the model and test set are fixed at
+        construction — and reused by every :meth:`run` (recomputed only if
+        the model's weights change in place).
+        """
+        return self._evaluator.baseline()
+
+    def clear_caches(self) -> None:
+        """Release memoized evaluation state (baseline, prefix activations,
+        layer input/kernel caches) — e.g. before discarding the campaign
+        in a long-lived process."""
+        self._evaluator.clear_caches()
 
     def run(self, spec_factory: Callable[[float], list[FaultSpec] | FaultSpec],
             xs: Sequence[float], repeats: int = 10, seed: int = 0,
@@ -88,19 +124,15 @@ class FaultCampaign:
         resilience study); ``None`` injects into all mapped layers (the
         "combined" curve).
         """
-        injector = FaultInjector(self.continue_time)
+        jobs = build_jobs(self.model, spec_factory, xs, repeats, seed,
+                          self.rows, self.cols, layers)
         accuracies = np.zeros((len(xs), repeats), dtype=np.float64)
-        for i, x_value in enumerate(xs):
-            specs = spec_factory(x_value)
-            for j in range(repeats):
-                generator = FaultGenerator(
-                    specs, rows=self.rows, cols=self.cols,
-                    seed=seed + 7919 * j + 104729 * i)
-                plan = generator.generate(self.model, layers=layers)
-                with injector.injecting(self.model, plan):
-                    accuracies[i, j] = self.model.evaluate(
-                        self.x_test, self.y_test, self.batch_size)
+        for i, j, accuracy in self._executor.run(jobs, self._evaluator):
+            accuracies[i, j] = accuracy
         return SweepResult(label=label, xs=list(xs), accuracies=accuracies,
                            baseline=self.baseline_accuracy(),
                            meta={"rows": self.rows, "cols": self.cols,
-                                 "repeats": repeats, "layers": layers})
+                                 "repeats": repeats, "layers": layers,
+                                 "executor": getattr(self._executor, "name",
+                                                     type(self._executor).__name__),
+                                 "backend": self.backend})

@@ -1,0 +1,347 @@
+"""Campaign execution engine: the repeat×sweep grid as independent jobs.
+
+The paper's methodology is brute-force statistical — every accuracy curve
+is a sweep of fault rates, each point repeated with fresh seeds, each
+repetition a full test-set inference (§IV).  This module turns that grid
+into a fast, embarrassingly parallel workload.
+
+Job model
+---------
+A sweep of ``len(xs)`` points × ``repeats`` repetitions flattens into
+``len(xs) * repeats`` independent :class:`CampaignJob` values.  Each job
+carries its grid coordinates and a *pre-generated* fault plan — the
+expensive mask distribution/mapping runs once, up front, in the parent
+process (:func:`build_jobs`), never inside the evaluation loop.  Executors
+only evaluate: attach the plan, run the test set, detach, report accuracy.
+
+Seeding scheme
+--------------
+Job plans are drawn from :meth:`FaultGenerator.job_seed`
+(``base_seed + 7919*repeat + 104729*point``), a pure function of the grid
+coordinates.  Because plans are generated before any executor runs, the
+``serial`` and ``multiprocessing`` executors are *bit-identical*: same
+seeds → same plans → same accuracies, regardless of scheduling order.
+
+Redundant-work elimination
+--------------------------
+:class:`CampaignEvaluator` owns every cache a campaign can legally share:
+
+* the fault-free **baseline** accuracy is computed once per evaluator;
+* jobs whose plan contains no faulty cell (e.g. the rate-0 sweep point)
+  reuse the baseline outright — attaching an all-clear plan wires no
+  hooks, so the evaluation would be the baseline bit-for-bit anyway;
+* the **fault-free prefix** of the model (every layer before the first
+  layer a plan can touch) is evaluated once and its activations are
+  cached, batch by batch, as read-only arrays; each job then only runs
+  the suffix.  For LeNet this skips the unmapped CMOS conv0 + pooling
+  stack — roughly half the inference — in every repetition;
+* the read-only activation batches are *identically the same objects*
+  across jobs, which arms the quantized layers' input-representation
+  caches (im2col / bit-packing reuse, see :mod:`repro.binary.layers`).
+
+Packed vs float execution
+-------------------------
+``backend="packed"`` switches the quantized layers to the XNOR/popcount
+fast path on packed uint64 words — the integer arithmetic the LIM
+crossbar natively performs.  The two backends are bit-identical (±1 sums
+are exact in float32); layers fall back to float automatically wherever
+packed semantics cannot express the computation (product-level hooks,
+non-strictly-binary quantizers, ``same`` padding, training).
+
+Executors
+---------
+``serial``
+    In-process loop.  Shares the caller's evaluator and all its caches.
+``multiprocessing``
+    A process pool (default ``n_jobs=os.cpu_count()``); each worker
+    builds one evaluator (worker-local model + read-only test set) in its
+    initializer and reuses it for every job it is handed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.model import Sequential
+from .faults import FaultSpec
+from .generator import FaultGenerator, FaultPlan, mapped_layers
+from .injector import FaultInjector
+
+__all__ = [
+    "CampaignJob",
+    "CampaignEvaluator",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+    "build_jobs",
+    "get_executor",
+    "plan_has_faults",
+]
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One (sweep point, repetition) cell of the campaign grid."""
+
+    point_index: int
+    repeat_index: int
+    x_value: float
+    seed: int
+    plan: FaultPlan
+
+
+def plan_has_faults(plan: FaultPlan) -> bool:
+    """Whether any mask in the plan marks at least one faulty cell."""
+    return any(masks.has_faults for masks in plan.values())
+
+
+def build_jobs(model: Sequential,
+               spec_factory: Callable[[float], list[FaultSpec] | FaultSpec],
+               xs: Sequence[float], repeats: int, seed: int,
+               rows: int, cols: int,
+               layers: list[str] | None = None) -> list[CampaignJob]:
+    """Flatten the sweep grid into jobs with pre-generated fault plans.
+
+    Mask generation happens here — outside the evaluation loop, before any
+    executor starts — so scheduling order can never affect the plans.
+    """
+    jobs: list[CampaignJob] = []
+    for i, x_value in enumerate(xs):
+        specs = spec_factory(x_value)
+        for j in range(repeats):
+            job_seed = FaultGenerator.job_seed(seed, i, j)
+            generator = FaultGenerator(specs, rows=rows, cols=cols,
+                                       seed=job_seed)
+            jobs.append(CampaignJob(
+                point_index=i, repeat_index=j, x_value=x_value,
+                seed=job_seed, plan=generator.generate(model, layers=layers)))
+    return jobs
+
+
+class CampaignEvaluator:
+    """Evaluates fault plans on a fixed model + test set, with caching.
+
+    The test set is treated as **read-only** for the lifetime of the
+    evaluator (batches and cached prefix activations are marked
+    non-writeable so the layer-level input caches may key on identity).
+    """
+
+    def __init__(self, model: Sequential, x_test: np.ndarray,
+                 y_test: np.ndarray, batch_size: int = 256,
+                 continue_time_across_layers: bool = True,
+                 backend: str = "float"):
+        if backend not in ("float", "packed"):
+            raise ValueError(f"unknown execution backend {backend!r}; "
+                             "use 'float' or 'packed'")
+        self.model = model
+        self.batch_size = batch_size
+        self.backend = backend
+        self.x_test = x_test.view()
+        self.x_test.flags.writeable = False
+        self.y_test = y_test
+        self.injector = FaultInjector(continue_time_across_layers)
+        self._baseline: float | None = None
+        #: top-level split index -> list of (activation batch, label batch)
+        self._suffix_batches: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self._weights_version = getattr(model, "weights_version", None)
+
+    def _check_weights_version(self) -> None:
+        """Drop caches when the model's parameters changed in place."""
+        version = getattr(self.model, "weights_version", None)
+        if version != self._weights_version:
+            self.clear_caches()
+            self._weights_version = version
+
+    def clear_caches(self) -> None:
+        """Release every memoized evaluation artifact: the baseline, the
+        prefix activation batches, and the layers' input/kernel caches."""
+        self._baseline = None
+        self._suffix_batches.clear()
+        _strip_transient_state(self.model)
+
+    @contextmanager
+    def _backend_scope(self):
+        """Run with this evaluator's backend, restore the previous one after.
+
+        The campaign must not permanently re-mode a shared model — two
+        campaigns with different backends on one model would otherwise
+        silently override each other.
+        """
+        previous = [(layer, layer.execution_backend)
+                    for layer in self.model.all_layers()
+                    if hasattr(layer, "execution_backend")]
+        self.model.set_execution_backend(self.backend)
+        try:
+            yield
+        finally:
+            for layer, saved in previous:
+                layer.execution_backend = saved
+
+    # -- prefix/suffix splitting ----------------------------------------
+    def _split_for(self, layer_names) -> int:
+        """Index of the first top-level layer whose subtree contains any of
+        ``layer_names`` — everything before it is fault-free for sure."""
+        names = set(layer_names)
+
+        def contains(layer) -> bool:
+            if layer.name in names:
+                return True
+            return any(contains(child) for child in layer.sub_layers())
+
+        for index, layer in enumerate(self.model.layers):
+            if contains(layer):
+                return index
+        return len(self.model.layers)
+
+    def _batches_for(self, split: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-batch activations after ``layers[:split]``, computed once.
+
+        Batch boundaries match :meth:`Sequential.evaluate`, so suffix
+        evaluation is arithmetic-for-arithmetic the full forward pass.
+        """
+        cached = self._suffix_batches.get(split)
+        if cached is not None:
+            return cached
+        prefix = self.model.layers[:split]
+        batches: list[tuple[np.ndarray, np.ndarray]] = []
+        n = len(self.x_test)
+        for start in range(0, n, self.batch_size):
+            z = self.x_test[start:start + self.batch_size]
+            for layer in prefix:
+                z = layer.forward(z, training=False)
+            z = np.ascontiguousarray(z)
+            z.flags.writeable = False
+            batches.append((z, self.y_test[start:start + self.batch_size]))
+        self._suffix_batches[split] = batches
+        return batches
+
+    def _evaluate_suffix(self, split: int) -> float:
+        suffix = self.model.layers[split:]
+        correct = 0
+        total = 0
+        for z, labels in self._batches_for(split):
+            out = z
+            for layer in suffix:
+                out = layer.forward(out, training=False)
+            correct += int((out.argmax(axis=-1) == labels).sum())
+            total += len(labels)
+        return correct / total
+
+    # -- public API ------------------------------------------------------
+    def baseline(self) -> float:
+        """Fault-free accuracy, computed once per evaluator (and again only
+        if the model's weights change in place)."""
+        self._check_weights_version()
+        if self._baseline is None:
+            mapped = [layer.name for layer in mapped_layers(self.model)]
+            split = self._split_for(mapped) if mapped else 0
+            with self._backend_scope():
+                self._baseline = self._evaluate_suffix(split)
+        return self._baseline
+
+    def evaluate_plan(self, plan: FaultPlan) -> float:
+        """Accuracy under ``plan`` — bit-identical to attaching the plan
+        and running ``model.evaluate`` on the full test set."""
+        if not plan_has_faults(plan):
+            # an all-clear plan wires no hooks: the run is the baseline
+            return self.baseline()
+        self._check_weights_version()
+        split = self._split_for(plan.keys())
+        with self._backend_scope(), self.injector.injecting(self.model, plan):
+            return self._evaluate_suffix(split)
+
+    def run_job(self, job: CampaignJob) -> tuple[int, int, float]:
+        return job.point_index, job.repeat_index, self.evaluate_plan(job.plan)
+
+
+# -- executors ------------------------------------------------------------
+
+class SerialExecutor:
+    """In-process job loop; shares the caller's evaluator and caches."""
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[CampaignJob],
+            evaluator: CampaignEvaluator) -> list[tuple[int, int, float]]:
+        return [evaluator.run_job(job) for job in jobs]
+
+
+_WORKER_EVALUATOR: CampaignEvaluator | None = None
+
+
+def _init_worker(payload: dict) -> None:
+    """Pool initializer: build the worker-local evaluator exactly once."""
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = CampaignEvaluator(
+        payload["model"], payload["x_test"], payload["y_test"],
+        batch_size=payload["batch_size"],
+        continue_time_across_layers=payload["continue_time"],
+        backend=payload["backend"])
+
+
+def _run_worker_job(job: CampaignJob) -> tuple[int, int, float]:
+    return _WORKER_EVALUATOR.run_job(job)
+
+
+class MultiprocessingExecutor:
+    """Process-pool executor with worker-local models.
+
+    The model and test set ship to each worker once (pool initializer);
+    jobs only carry their fault plans.  Results are bit-identical to the
+    serial executor because plans are pre-generated and the per-batch
+    arithmetic is unchanged.
+    """
+
+    name = "multiprocessing"
+
+    def __init__(self, n_jobs: int | None = None):
+        self.n_jobs = n_jobs if n_jobs and n_jobs > 0 else (os.cpu_count() or 1)
+
+    def run(self, jobs: Sequence[CampaignJob],
+            evaluator: CampaignEvaluator) -> list[tuple[int, int, float]]:
+        if self.n_jobs == 1 or len(jobs) <= 1:
+            return SerialExecutor().run(jobs, evaluator)
+        import multiprocessing
+
+        _strip_transient_state(evaluator.model)
+        payload = {
+            "model": evaluator.model,
+            "x_test": np.asarray(evaluator.x_test),
+            "y_test": evaluator.y_test,
+            "batch_size": evaluator.batch_size,
+            "continue_time": evaluator.injector.continue_time_across_layers,
+            "backend": evaluator.backend,
+        }
+        chunksize = max(1, len(jobs) // (4 * self.n_jobs))
+        with multiprocessing.Pool(self.n_jobs, initializer=_init_worker,
+                                  initargs=(payload,)) as pool:
+            return pool.map(_run_worker_job, jobs, chunksize=chunksize)
+
+
+def _strip_transient_state(model: Sequential) -> None:
+    """Drop per-layer scratch state (training caches, memoized packings)
+    before pickling a model into worker processes."""
+    for layer in model.all_layers():
+        if hasattr(layer, "_invalidate_caches"):
+            layer._invalidate_caches()
+        if hasattr(layer, "_input_cache"):
+            layer._input_cache = []
+        if hasattr(layer, "_cache"):
+            layer._cache = None
+
+
+def get_executor(executor, n_jobs: int | None = None):
+    """Resolve an executor by name ('serial' / 'multiprocessing') or pass
+    executor objects through."""
+    if not isinstance(executor, str):
+        return executor
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "multiprocessing":
+        return MultiprocessingExecutor(n_jobs)
+    raise ValueError(f"unknown executor {executor!r}; "
+                     "use 'serial' or 'multiprocessing'")

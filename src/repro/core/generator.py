@@ -69,6 +69,18 @@ class FaultGenerator:
         self.cols = cols
         self.rng = np.random.default_rng(seed)
 
+    @staticmethod
+    def job_seed(base_seed: int, point_index: int, repeat_index: int) -> int:
+        """Deterministic per-(sweep point, repetition) generator seed.
+
+        The campaign protocol re-seeds every repetition ("reinitialized the
+        random generator with a new seed value", §IV); spreading the grid
+        over two primes keeps every job's seed distinct while remaining a
+        pure function of the grid coordinates — serial, parallel and
+        resumed runs all draw identical fault plans.
+        """
+        return base_seed + 7919 * repeat_index + 104729 * point_index
+
     def generate(self, model: Sequential,
                  layers: list[str] | None = None) -> FaultPlan:
         """Draw fresh masks for every (selected) mapped layer."""

@@ -40,6 +40,11 @@ class FaultInjector:
         #: respective operations but does not inject actual faults"
         self.force_hooks = force_hooks
         self._attached: list = []
+        #: (layer name, rows, cols) -> (layer, LayerMapping) — the mapping
+        #: geometry (tile schedule, occurrence templates) is plan-independent,
+        #: so a long-lived injector reuses it across every repetition of a
+        #: campaign instead of rebuilding it per attach
+        self._mapping_cache: dict[tuple[str, int, int], tuple] = {}
 
     # -- lifecycle ----------------------------------------------------------
     def attach(self, model: Sequential, plan: FaultPlan) -> None:
@@ -54,7 +59,7 @@ class FaultInjector:
             masks = plan.get(layer.name)
             if masks is None:
                 continue
-            mapping = LayerMapping(layer, masks.rows, masks.cols)
+            mapping = self._mapping_for(layer, masks.rows, masks.cols)
             offset = time_offset if self.continue_time_across_layers else 0
             self._wire_layer(layer, mapping, masks, offset)
             self._attached.append(layer)
@@ -75,6 +80,16 @@ class FaultInjector:
             yield self
         finally:
             self.detach()
+
+    def _mapping_for(self, layer, rows: int, cols: int) -> LayerMapping:
+        """Cached :class:`LayerMapping` for (layer, crossbar geometry)."""
+        key = (layer.name, rows, cols)
+        hit = self._mapping_cache.get(key)
+        if hit is not None and hit[0] is layer:
+            return hit[1]
+        mapping = LayerMapping(layer, rows, cols)
+        self._mapping_cache[key] = (layer, mapping)
+        return mapping
 
     # -- wiring ------------------------------------------------------------
     def _wire_layer(self, layer, mapping: LayerMapping, masks, time_offset: int):

@@ -51,6 +51,7 @@ class LayerMapping:
             terms=layer.reduction_length(),
             filters=layer.output_channels,
             rows=rows, cols=cols)
+        self._occurrence: np.ndarray | None = None
 
     # -- op accounting (the generator's report) ------------------------------
     @property
@@ -81,7 +82,10 @@ class LayerMapping:
         outputs = self.layer.outputs_per_image()
         selector = tile_vector(flip_vector, outputs).copy()
         if period > 1:
-            occurrence = np.arange(outputs) // len(flip_vector) + time_offset
+            if self._occurrence is None or len(self._occurrence) != outputs:
+                # plan-independent template, reused across campaign repetitions
+                self._occurrence = np.arange(outputs) // len(flip_vector)
+            occurrence = self._occurrence + time_offset
             selector &= (occurrence % period == 0)
         return selector
 

@@ -277,7 +277,7 @@ class MaxPool2D(Layer):
         return (h // self.size, w // self.size, c)
 
     def forward(self, x, training=False):
-        out, mask = ops.maxpool2d(x, self.size)
+        out, mask = ops.maxpool2d(x, self.size, with_mask=training)
         if training:
             self._mask = mask
         return out

@@ -22,6 +22,10 @@ class Sequential:
         self.name = name
         self.built = False
         self.input_shape: tuple[int, ...] | None = None
+        #: bumped whenever parameters change in place (training steps,
+        #: weight loads) — lets long-lived consumers (e.g. the campaign
+        #: evaluator) detect that cached derived state went stale
+        self.weights_version = 0
 
     # -- construction ----------------------------------------------------
     def build(self, input_shape: tuple[int, ...], seed: int | np.random.Generator = 0):
@@ -66,6 +70,7 @@ class Sequential:
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.weights_version += 1  # an optimizer step follows
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad
@@ -82,9 +87,27 @@ class Sequential:
         return np.concatenate(outputs, axis=0)
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
-        """Top-1 accuracy of integer labels ``y``."""
-        logits = self.predict(x, batch_size=batch_size)
-        return float((logits.argmax(axis=-1) == y).mean())
+        """Top-1 accuracy of integer labels ``y``.
+
+        Streams batch-by-batch (argmax per batch, no logit concatenation)
+        — same result as ``predict(...).argmax(-1)``, less memory traffic.
+        """
+        correct = 0
+        for i in range(0, len(x), batch_size):
+            logits = self.forward(x[i:i + batch_size])
+            correct += int((logits.argmax(axis=-1) == y[i:i + batch_size]).sum())
+        return correct / len(x)
+
+    def set_execution_backend(self, backend: str) -> "Sequential":
+        """Switch every backend-aware layer (e.g. quantized layers with a
+        packed XNOR/popcount fast path) to ``backend`` ('float'/'packed')."""
+        if backend not in ("float", "packed"):
+            raise ValueError(f"unknown execution backend {backend!r}; "
+                             "use 'float' or 'packed'")
+        for layer in self.all_layers():
+            if hasattr(layer, "execution_backend"):
+                layer.execution_backend = backend
+        return self
 
     # -- introspection -----------------------------------------------------
     def summary(self) -> str:
@@ -112,12 +135,15 @@ class Sequential:
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.weights_version += 1
         for index, layer in enumerate(self.all_layers()):
             for key in layer.params:
                 layer.params[key][...] = state[f"l{index}.{key}"]
             if isinstance(layer, BatchNorm) and layer.built:
                 layer.running_mean[...] = state[f"l{index}.running_mean"]
                 layer.running_var[...] = state[f"l{index}.running_var"]
+            if hasattr(layer, "_invalidate_caches"):
+                layer._invalidate_caches()  # params changed in place
 
     def save_weights(self, path) -> None:
         np.savez_compressed(path, **self.state_dict())

@@ -141,15 +141,20 @@ def _pool_view(x: np.ndarray, size: int) -> np.ndarray:
     return x.reshape(n, h // size, size, w // size, size, c)
 
 
-def maxpool2d(x: np.ndarray, size: int = 2) -> tuple[np.ndarray, np.ndarray]:
+def maxpool2d(x: np.ndarray, size: int = 2,
+              with_mask: bool = True) -> tuple[np.ndarray, np.ndarray | None]:
     """Non-overlapping max pooling.  Returns ``(out, argmax_mask)``.
 
     The mask has the input's shape, with ones at the positions that won the
     max (ties broken toward the first occurrence), and is consumed by
-    :func:`maxpool2d_backward`.
+    :func:`maxpool2d_backward`.  Building it costs more than the pooling
+    itself, so inference passes set ``with_mask=False`` and get
+    ``(out, None)``.
     """
     view = _pool_view(x, size)
     out = view.max(axis=(2, 4))
+    if not with_mask:
+        return out, None
     expanded = out[:, :, None, :, None, :]
     winners = (view == expanded)
     # break ties: keep only the first winner per window

@@ -1,0 +1,31 @@
+"""Finite-difference gradient helpers shared across test modules.
+
+Lives in its own module (not ``conftest.py``) so test files can import it
+by name: ``conftest`` is ambiguous once several test roots (``tests/``,
+``benchmarks/``) are collected in one pytest run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn()
+        flat[i] = original - eps
+        down = fn()
+        flat[i] = original
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray,
+                      rtol: float = 1e-2, atol: float = 1e-4) -> None:
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,205 @@
+"""Tests for the job-based campaign engine (executors, caching, seeding)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import QuantDense
+from repro.core import (CampaignEvaluator, FaultCampaign, FaultGenerator,
+                        FaultInjector, FaultSpec, MultiprocessingExecutor,
+                        SerialExecutor, build_jobs, get_executor,
+                        plan_has_faults)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A tiny trained BNN on a separable task, with held-out data."""
+    rng = np.random.default_rng(0)
+    n = 400
+    x = rng.choice([-1.0, 1.0], size=(n, 16)).astype(np.float32)
+    y = (x[:, :8].sum(axis=1) > 0).astype(int)
+    model = nn.Sequential([
+        QuantDense(32, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(2, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+    ]).build((16,), seed=0)
+    trainer = nn.Trainer(nn.Adam(0.01), seed=0)
+    trainer.fit(model, x[:300], y[:300], epochs=25, batch_size=32)
+    return model, x[300:], y[300:]
+
+
+def test_build_jobs_flattens_grid_with_plans(trained_setup):
+    model, _, _ = trained_setup
+    xs = [0.0, 0.25, 0.5]
+    jobs = build_jobs(model, FaultSpec.bitflip, xs, repeats=4, seed=7,
+                      rows=8, cols=4)
+    assert len(jobs) == len(xs) * 4
+    coords = {(job.point_index, job.repeat_index) for job in jobs}
+    assert coords == {(i, j) for i in range(3) for j in range(4)}
+    for job in jobs:
+        assert job.seed == FaultGenerator.job_seed(7, job.point_index,
+                                                   job.repeat_index)
+        assert job.x_value == xs[job.point_index]
+        # plans are pre-generated, one mask set per mapped layer
+        assert set(job.plan) == {layer.name for layer in model.layers
+                                 if isinstance(layer, QuantDense)}
+
+
+def test_job_seed_matches_seed_engine_formula():
+    assert FaultGenerator.job_seed(3, 2, 5) == 3 + 7919 * 5 + 104729 * 2
+
+
+def test_plan_has_faults(trained_setup):
+    model, _, _ = trained_setup
+    empty = build_jobs(model, FaultSpec.bitflip, [0.0], 1, 0, 8, 4)[0].plan
+    faulty = build_jobs(model, FaultSpec.bitflip, [0.5], 1, 0, 8, 4)[0].plan
+    assert not plan_has_faults(empty)
+    assert plan_has_faults(faulty)
+
+
+def test_engine_matches_legacy_triple_loop(trained_setup):
+    """The job engine must reproduce the seed engine's loop bit-for-bit."""
+    model, x, y = trained_setup
+    xs = [0.0, 0.3]
+    repeats = 3
+    injector = FaultInjector(True)
+    legacy = np.zeros((len(xs), repeats))
+    for i, x_value in enumerate(xs):
+        for j in range(repeats):
+            generator = FaultGenerator(FaultSpec.bitflip(x_value), rows=8,
+                                       cols=4, seed=7919 * j + 104729 * i)
+            with injector.injecting(model, generator.generate(model)):
+                legacy[i, j] = model.evaluate(x, y)
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    result = campaign.run(FaultSpec.bitflip, xs=xs, repeats=repeats, seed=0)
+    np.testing.assert_array_equal(result.accuracies, legacy)
+
+
+def test_serial_and_multiprocessing_bit_identical(trained_setup):
+    model, x, y = trained_setup
+    kwargs = dict(xs=[0.0, 0.2, 0.4], repeats=3, seed=11)
+    serial = FaultCampaign(model, x, y, rows=8, cols=4,
+                           executor="serial").run(FaultSpec.bitflip, **kwargs)
+    parallel = FaultCampaign(model, x, y, rows=8, cols=4,
+                             executor="multiprocessing",
+                             n_jobs=2).run(FaultSpec.bitflip, **kwargs)
+    np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
+    assert serial.baseline == parallel.baseline
+    assert parallel.meta["executor"] == "multiprocessing"
+
+
+def test_float_and_packed_campaigns_bit_identical(trained_setup):
+    model, x, y = trained_setup
+    kwargs = dict(xs=[0.0, 0.3], repeats=3, seed=5)
+    float_result = FaultCampaign(model, x, y, rows=8, cols=4,
+                                 backend="float").run(FaultSpec.bitflip,
+                                                      **kwargs)
+    packed_result = FaultCampaign(model, x, y, rows=8, cols=4,
+                                  backend="packed").run(FaultSpec.bitflip,
+                                                        **kwargs)
+    np.testing.assert_array_equal(float_result.accuracies,
+                                  packed_result.accuracies)
+    assert float_result.baseline == packed_result.baseline
+
+
+def test_campaign_restores_model_backend(trained_setup):
+    """Campaigns may not permanently re-mode a shared model."""
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4, backend="packed")
+    campaign.run(FaultSpec.bitflip, xs=[0.3], repeats=2)
+    for layer in model.layers_of_type(QuantDense):
+        assert layer.execution_backend == "float"
+
+
+def test_stale_caches_dropped_after_weight_change(trained_setup):
+    """In-place weight updates must invalidate baseline/prefix caches."""
+    model, x, y = trained_setup
+    state = {key: value.copy() for key, value in model.state_dict().items()}
+    try:
+        campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+        before = campaign.baseline_accuracy()
+        assert before == model.evaluate(x, y)
+        trainer = nn.Trainer(nn.Adam(0.05), seed=1)
+        trainer.fit(model, x, (1 - y), epochs=3, batch_size=32)  # unlearn
+        after = campaign.baseline_accuracy()
+        assert after == model.evaluate(x, y)
+        assert after != before
+    finally:
+        model.load_state_dict(state)
+
+
+def test_baseline_computed_once_and_reused(trained_setup, monkeypatch):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    calls = {"n": 0}
+    original = CampaignEvaluator._evaluate_suffix
+
+    def counting(self, split):
+        calls["n"] += 1
+        return original(self, split)
+
+    monkeypatch.setattr(CampaignEvaluator, "_evaluate_suffix", counting)
+    first = campaign.baseline_accuracy()
+    assert calls["n"] == 1
+    assert campaign.baseline_accuracy() == first
+    assert calls["n"] == 1  # cached, not recomputed
+    # a run() with only fault-free points adds no further evaluations
+    result = campaign.run(FaultSpec.bitflip, xs=[0.0], repeats=4)
+    assert calls["n"] == 1
+    np.testing.assert_allclose(result.accuracies, first)
+
+
+def test_rate_zero_point_reuses_baseline_bitwise(trained_setup):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    result = campaign.run(FaultSpec.bitflip, xs=[0.0, 0.4], repeats=3)
+    assert (result.accuracies[0] == result.baseline).all()
+
+
+def test_evaluator_prefix_cache_is_read_only(trained_setup):
+    model, x, y = trained_setup
+    evaluator = CampaignEvaluator(model, x, y)
+    batches = evaluator._batches_for(0)
+    assert all(not z.flags.writeable for z, _ in batches)
+    # cached: same objects on the second request
+    assert evaluator._batches_for(0)[0][0] is batches[0][0]
+
+
+def test_get_executor_resolution():
+    assert isinstance(get_executor("serial"), SerialExecutor)
+    executor = get_executor("multiprocessing", n_jobs=3)
+    assert isinstance(executor, MultiprocessingExecutor)
+    assert executor.n_jobs == 3
+    passthrough = SerialExecutor()
+    assert get_executor(passthrough) is passthrough
+    with pytest.raises(ValueError):
+        get_executor("threads")
+
+
+def test_unknown_backend_rejected(trained_setup):
+    model, x, y = trained_setup
+    with pytest.raises(ValueError):
+        FaultCampaign(model, x, y, backend="quantum")
+
+
+def test_campaign_leaves_model_unfaulted(trained_setup):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4, backend="packed")
+    campaign.run(FaultSpec.bitflip, xs=[0.4], repeats=2)
+    for layer in model.layers_of_type(QuantDense):
+        assert layer.output_fault_hook is None
+        assert layer.kernel_fault_hook is None
+
+
+def test_clear_caches_releases_memoized_state(trained_setup):
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4)
+    campaign.run(FaultSpec.bitflip, xs=[0.0, 0.3], repeats=2)
+    assert campaign._evaluator._suffix_batches
+    campaign.clear_caches()
+    assert not campaign._evaluator._suffix_batches
+    assert campaign._evaluator._baseline is None
+    for layer in model.layers_of_type(QuantDense):
+        assert layer._input_cache == []

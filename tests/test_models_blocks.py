@@ -6,7 +6,7 @@ import pytest
 from repro.models.blocks import (DenseBinaryBlock, ImprovementBlock,
                                  RealToBinaryBlock, ResidualBinaryBlock)
 
-from .conftest import numerical_gradient
+from gradcheck import numerical_gradient
 
 
 def build(block, shape, seed=0):

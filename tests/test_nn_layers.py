@@ -5,7 +5,7 @@ import pytest
 
 from repro import nn
 
-from .conftest import numerical_gradient
+from gradcheck import numerical_gradient
 
 
 def build_layer(layer, input_shape, seed=0):

@@ -70,7 +70,7 @@ def test_im2col_col2im_adjoint(rng):
 
 
 def test_conv2d_backward_numeric(rng):
-    from .conftest import numerical_gradient
+    from gradcheck import numerical_gradient
 
     x = rng.standard_normal((2, 5, 5, 2)).astype(np.float64)
     kernel = rng.standard_normal((3, 3, 2, 3)).astype(np.float64)

@@ -45,7 +45,7 @@ def test_trainer_tracks_validation(rng):
 
 def test_losses_softmax_cross_entropy_gradient(rng):
     from repro.nn.losses import softmax_cross_entropy
-    from .conftest import numerical_gradient
+    from gradcheck import numerical_gradient
 
     logits = rng.standard_normal((5, 4))
     labels = rng.integers(0, 4, 5)
