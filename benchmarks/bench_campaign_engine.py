@@ -8,7 +8,14 @@ binary LeNet / synthetic MNIST) through
   mapping per attach, a full ``model.evaluate`` per repetition and a
   baseline recomputation per ``run()``;
 * the job-based **engine** (``repro.core.engine``) in every
-  executor × backend combination.
+  executor × backend combination (serial / multiprocessing /
+  shared_memory × float / packed).
+
+Besides wall-clock speedups the JSON tracks the **payload bytes** each
+pool executor pickles into a worker (shared memory must beat the pickled
+baseline — the script fails otherwise) and the **journal overhead**: the
+cost of streaming cells into a resumable JSONL journal plus the cost of
+resuming a completed journal (which evaluates nothing).
 
 All strategies must agree bit-for-bit; the script fails (exit code 1) if
 they do not, so the reported speedups are guaranteed to be
@@ -101,7 +108,9 @@ def main(argv=None) -> int:
     model = trained_lenet()
     _, test = get_mnist()
     test = test.subset(images)
-    n_jobs = args.jobs or os.cpu_count() or 1
+    # at least two workers so the pool paths are exercised even on
+    # single-core containers (where the speedup is simply ~1x)
+    n_jobs = args.jobs or max(2, os.cpu_count() or 1)
 
     print(f"grid: {len(rates)} rates x {repeats} repeats on {images} images "
           f"(cpu count {os.cpu_count()})")
@@ -111,10 +120,13 @@ def main(argv=None) -> int:
     print(f"seed serial engine          : {seed_time:7.2f} s")
 
     timings: dict[str, float] = {"seed_serial": seed_time}
+    payload_bytes: dict[str, int] = {}
     mismatches: list[str] = []
     for executor, backend in [("serial", "float"), ("serial", "packed"),
                               ("multiprocessing", "float"),
-                              ("multiprocessing", "packed")]:
+                              ("multiprocessing", "packed"),
+                              ("shared_memory", "float"),
+                              ("shared_memory", "packed")]:
         campaign = FaultCampaign(model, test.x, test.y, executor=executor,
                                  n_jobs=n_jobs, backend=backend)
         result, duration = timed(
@@ -122,13 +134,50 @@ def main(argv=None) -> int:
             seed=seed)
         key = f"engine_{executor}_{backend}"
         timings[key] = duration
+        shipped = getattr(campaign._executor, "payload_bytes", None)
+        if shipped is not None:
+            payload_bytes[f"{executor}_{backend}"] = shipped
         identical = (np.array_equal(result.accuracies, seed_acc)
                      and result.baseline == seed_baseline)
         if not identical:
             mismatches.append(key)
         print(f"engine {executor:16s}/{backend:6s}: {duration:7.2f} s  "
-              f"bit-identical={identical}")
+              f"bit-identical={identical}"
+              + (f"  payload={shipped}B" if shipped else ""))
     model.set_execution_backend("float")
+
+    shm_payload = payload_bytes.get("shared_memory_float")
+    mp_payload = payload_bytes.get("multiprocessing_float")
+    if shm_payload and mp_payload and shm_payload >= mp_payload:
+        mismatches.append("shared_memory_payload_not_smaller")
+        print(f"FAIL: shared-memory payload ({shm_payload} B) does not "
+              f"undercut the pickled baseline ({mp_payload} B)",
+              file=sys.stderr)
+
+    # journal overhead: stream every cell to JSONL, then resume the
+    # finished journal (pure replay — zero evaluations)
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = Path(tmp) / "bench_journal.jsonl"
+        campaign = FaultCampaign(model, test.x, test.y)
+        journaled, journal_time = timed(
+            campaign.run, FaultSpec.bitflip, xs=rates, repeats=repeats,
+            seed=seed, journal=journal_path)
+        resumed, resume_time = timed(
+            campaign.run, FaultSpec.bitflip, xs=rates, repeats=repeats,
+            seed=seed, journal=journal_path)
+        resume_identical = (
+            np.array_equal(journaled.accuracies, seed_acc)
+            and np.array_equal(resumed.accuracies, journaled.accuracies)
+            and resumed.meta["resumed_cells"] == len(rates) * repeats)
+        if not resume_identical:
+            mismatches.append("journal_resume")
+    timings["engine_serial_float_journaled"] = journal_time
+    timings["journal_full_resume"] = resume_time
+    print(f"journaled serial/float      : {journal_time:7.2f} s  "
+          f"(full resume {resume_time:.3f} s, "
+          f"bit-identical={resume_identical})")
 
     report = {
         "protocol": {"rates": rates, "repeats": repeats, "images": images,
@@ -141,13 +190,24 @@ def main(argv=None) -> int:
         "timings_s": {k: round(v, 4) for k, v in timings.items()},
         "speedup_vs_seed": {
             k: round(timings["seed_serial"] / v, 2)
-            for k, v in timings.items() if k != "seed_serial"},
+            for k, v in timings.items()
+            if k not in ("seed_serial", "journal_full_resume")},
         "serial_vs_parallel": round(
             timings["engine_serial_float"]
             / timings["engine_multiprocessing_float"], 2),
+        "serial_vs_shared_memory": round(
+            timings["engine_serial_float"]
+            / timings["engine_shared_memory_float"], 2),
         "float_vs_packed": round(
             timings["engine_serial_float"] / timings["engine_serial_packed"],
             2),
+        "payload_bytes": payload_bytes,
+        "journal": {
+            "overhead_s": round(
+                timings["engine_serial_float_journaled"]
+                - timings["engine_serial_float"], 4),
+            "full_resume_s": round(timings["journal_full_resume"], 4),
+        },
         "n_jobs": n_jobs,
         "bit_identical": not mismatches,
         "mismatches": mismatches,

@@ -85,22 +85,51 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import os
+
     from .core import FaultCampaign
     from .experiments import get_mnist, trained_lenet
 
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal PATH (nothing to resume)",
+              file=sys.stderr)
+        return 2
+    if (args.journal and not args.resume and os.path.exists(args.journal)
+            and os.path.getsize(args.journal) > 0):
+        print(f"error: journal {args.journal} already exists; "
+              "pass --resume to continue it", file=sys.stderr)
+        return 2
     model = trained_lenet()
     _, test = get_mnist()
     test = test.subset(args.images)
-    serial = args.jobs is None or args.jobs == 1
+    executor = args.executor
+    if executor is None:
+        serial = args.jobs is None or args.jobs == 1
+        executor = "serial" if serial else "multiprocessing"
     campaign = FaultCampaign(model, test.x, test.y,
                              rows=args.rows, cols=args.cols,
-                             executor="serial" if serial else "multiprocessing",
+                             executor=executor,
                              n_jobs=args.jobs or None,
                              backend=args.backend)
     spec_factory = (FaultSpec.bitflip if args.fault == "bitflip"
                     else FaultSpec.stuck_at)
-    result = campaign.run(spec_factory, xs=args.rates, repeats=args.repeats,
-                          label=args.fault)
+    progress = None
+    if args.journal:
+        def progress(done, total, cell):
+            point, repeat, accuracy = cell
+            print(f"[{done}/{total}] point {point} repeat {repeat}: "
+                  f"{100 * accuracy:.1f}%", file=sys.stderr)
+    try:
+        result = campaign.run(spec_factory, xs=args.rates,
+                              repeats=args.repeats, label=args.fault,
+                              journal=args.journal, progress=progress)
+    except ValueError as error:
+        # e.g. resuming a journal written for a different campaign
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.journal:
+        print(f"journal: {args.journal} "
+              f"({result.meta['resumed_cells']} cells resumed)")
     print(f"baseline: {100 * result.baseline:.1f}%  "
           f"[{result.meta['executor']}/{result.meta['backend']}]")
     rows = [(f"{x:g}", f"{100 * m:.1f}", f"{100 * s:.1f}")
@@ -181,10 +210,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--jobs", type=int, default=None, metavar="N",
                          help="run the campaign on N worker processes "
                               "(default: 1 = in-process serial; 0 = all cores)")
+    p_sweep.add_argument("--executor", default=None,
+                         choices=["serial", "multiprocessing",
+                                  "shared_memory"],
+                         help="executor override (default: serial for "
+                              "--jobs<=1, multiprocessing otherwise); "
+                              "shared_memory attaches the test set "
+                              "zero-copy in every worker")
     p_sweep.add_argument("--backend", default="float",
                          choices=["float", "packed"],
                          help="inference backend: float GEMM or packed "
                               "uint64 XNOR/popcount (bit-identical)")
+    p_sweep.add_argument("--journal", default=None, metavar="PATH",
+                         help="stream completed cells into a JSONL journal; "
+                              "an interrupted sweep rerun with the same "
+                              "journal (--resume) skips recorded cells")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="allow continuing an existing --journal file")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_t1 = sub.add_parser("table1", help="experimental setup (Table I)")

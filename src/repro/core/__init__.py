@@ -11,10 +11,12 @@ from .campaign import FaultCampaign, SweepResult
 from .detection import (majority_vote_predict, march_test,
                         masks_from_detection, remap_columns)
 from .engine import (CampaignEvaluator, CampaignJob, MultiprocessingExecutor,
-                     SerialExecutor, build_jobs, get_executor, plan_has_faults)
+                     SerialExecutor, SharedMemoryExecutor, build_jobs,
+                     get_executor, plan_has_faults)
 from .faults import FaultSpec, FaultType, Semantics, StuckPolarity
 from .generator import FaultGenerator, FaultPlan, mapped_layers
 from .injector import FaultInjector
+from .journal import CampaignJournal
 from .mapping import LayerMapping, tile_vector
 from .masks import (LayerMasks, assemble_layer_masks, build_bitflip_mask,
                     build_line_mask, build_stuck_mask)
@@ -29,7 +31,8 @@ __all__ = [
     "FaultInjector",
     "FaultCampaign", "SweepResult",
     "CampaignJob", "CampaignEvaluator", "SerialExecutor",
-    "MultiprocessingExecutor", "build_jobs", "get_executor", "plan_has_faults",
+    "MultiprocessingExecutor", "SharedMemoryExecutor", "CampaignJournal",
+    "build_jobs", "get_executor", "plan_has_faults",
     "save_fault_vectors", "load_fault_vectors",
     "march_test", "masks_from_detection", "remap_columns",
     "majority_vote_predict",

@@ -9,13 +9,20 @@ for aggregation.
 
 Execution is delegated to :mod:`repro.core.engine`: the sweep grid is
 flattened into independent jobs with pre-generated fault plans and run
-through a pluggable executor (``serial`` or ``multiprocessing``) on a
-float or bit-packed inference backend.  All four combinations are
-bit-identical under fixed seeds.
+through a pluggable executor (``serial``, ``multiprocessing`` or
+``shared_memory``) on a float or bit-packed inference backend.  All
+combinations are bit-identical under fixed seeds.
+
+Campaigns can be **journaled**: ``run(..., journal=path)`` streams every
+completed cell into a JSONL file as it arrives, and a rerun with the same
+path skips the already-journaled cells — a killed campaign resumes where
+it died and reproduces the uninterrupted result exactly
+(:mod:`repro.core.journal`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -24,8 +31,22 @@ import numpy as np
 from ..nn.model import Sequential
 from .engine import CampaignEvaluator, build_jobs, get_executor
 from .faults import FaultSpec
+from .journal import CampaignJournal
 
 __all__ = ["SweepResult", "FaultCampaign"]
+
+
+def _describe_specs(spec_factory, x) -> list[str]:
+    """Stable textual form of the fault spec(s) for sweep value ``x``.
+
+    Journals store this per sweep point so a resume with a different
+    fault type or parameterization (e.g. another fixed rate behind the
+    same period axis) is refused rather than silently mixed in.
+    """
+    specs = spec_factory(x)
+    if not isinstance(specs, (list, tuple)):
+        specs = [specs]
+    return [repr(spec) for spec in specs]
 
 
 @dataclass
@@ -46,7 +67,16 @@ class SweepResult:
         return self.accuracies.mean(axis=1)
 
     def std(self) -> np.ndarray:
-        return self.accuracies.std(axis=1)
+        """Per-point sample standard deviation (ddof=1).
+
+        The repetitions are a sample of the fault-placement distribution,
+        not the full population, so the paper's 100-repetition error bars
+        need Bessel's correction.  A single repetition has no spread
+        estimate; it reports 0 rather than NaN.
+        """
+        if self.accuracies.shape[1] <= 1:
+            return np.zeros(self.accuracies.shape[0])
+        return self.accuracies.std(axis=1, ddof=1)
 
     def min(self) -> np.ndarray:
         return self.accuracies.min(axis=1)
@@ -70,11 +100,13 @@ class FaultCampaign:
     Parameters
     ----------
     executor:
-        ``"serial"`` (default), ``"multiprocessing"``, or an executor
-        object with a ``run(jobs, evaluator)`` method.
+        ``"serial"`` (default), ``"multiprocessing"``,
+        ``"shared_memory"``, or an executor object with a
+        ``run(jobs, evaluator)`` method (streaming executors additionally
+        provide ``run_iter``).
     n_jobs:
-        Worker count for the multiprocessing executor; ``None`` means
-        ``os.cpu_count()``.
+        Worker count for the pool executors; ``None`` means
+        ``os.cpu_count()`` (or the ``REPRO_N_JOBS`` environment variable).
     backend:
         ``"float"`` or ``"packed"`` — see :mod:`repro.binary.layers`.
     """
@@ -85,8 +117,6 @@ class FaultCampaign:
                  executor: str | object = "serial", n_jobs: int | None = None,
                  backend: str = "float"):
         self.model = model
-        self.x_test = x_test
-        self.y_test = y_test
         self.rows = rows
         self.cols = cols
         self.batch_size = batch_size
@@ -97,6 +127,11 @@ class FaultCampaign:
             model, x_test, y_test, batch_size=batch_size,
             continue_time_across_layers=continue_time_across_layers,
             backend=backend)
+        # aliases of the evaluator's snapshot — everything the campaign
+        # evaluates, fingerprints, or ships to workers is this data, not
+        # whatever the caller's arrays hold later
+        self.x_test = self._evaluator.x_test
+        self.y_test = self._evaluator.y_test
 
     def baseline_accuracy(self) -> float:
         """Fault-free accuracy (FLIM with no faults == vanilla).
@@ -115,7 +150,10 @@ class FaultCampaign:
 
     def run(self, spec_factory: Callable[[float], list[FaultSpec] | FaultSpec],
             xs: Sequence[float], repeats: int = 10, seed: int = 0,
-            layers: list[str] | None = None, label: str = "sweep") -> SweepResult:
+            layers: list[str] | None = None, label: str = "sweep",
+            journal=None,
+            progress: Callable[[int, int, tuple], None] | None = None
+            ) -> SweepResult:
         """Sweep ``xs`` through ``spec_factory``, re-seeding per repetition.
 
         ``spec_factory(x)`` builds the fault spec(s) for sweep value ``x``
@@ -123,16 +161,82 @@ class FaultCampaign:
         restricts injection to named mapped layers (the paper's per-layer
         resilience study); ``None`` injects into all mapped layers (the
         "combined" curve).
+
+        ``journal`` names a JSONL file that receives every completed cell
+        as it streams out of the executor; cells already recorded there
+        (from an interrupted earlier run of the *same* grid) are skipped.
+        ``progress(done, total, (point, repeat, accuracy))`` is called
+        after each freshly evaluated cell.
         """
-        jobs = build_jobs(self.model, spec_factory, xs, repeats, seed,
-                          self.rows, self.cols, layers)
+        xs = list(xs)
+        total = len(xs) * repeats
         accuracies = np.zeros((len(xs), repeats), dtype=np.float64)
-        for i, j, accuracy in self._executor.run(jobs, self._evaluator):
-            accuracies[i, j] = accuracy
-        return SweepResult(label=label, xs=list(xs), accuracies=accuracies,
-                           baseline=self.baseline_accuracy(),
-                           meta={"rows": self.rows, "cols": self.cols,
-                                 "repeats": repeats, "layers": layers,
-                                 "executor": getattr(self._executor, "name",
-                                                     type(self._executor).__name__),
-                                 "backend": self.backend})
+        resumed = 0
+        journal_obj = None
+        skip: set[tuple[int, int]] | None = None
+        if journal is not None:
+            header = {"xs": [float(x) for x in xs], "repeats": repeats,
+                      "seed": seed, "rows": self.rows, "cols": self.cols,
+                      "layers": list(layers) if layers is not None else None,
+                      "backend": self.backend,
+                      "continue_time": self.continue_time,
+                      "specs": [_describe_specs(spec_factory, x) for x in xs],
+                      "fingerprint": self._fingerprint(),
+                      "label": label}
+            journal_obj = CampaignJournal(journal, header).open()
+            skip = set()
+            for (i, j), accuracy in journal_obj.completed.items():
+                if i < len(xs) and j < repeats:
+                    accuracies[i, j] = accuracy
+                    resumed += 1
+                    skip.add((i, j))
+        # journaled cells are excluded before plan generation: resuming a
+        # nearly finished grid does not regenerate its fault masks
+        jobs = build_jobs(self.model, spec_factory, xs, repeats, seed,
+                          self.rows, self.cols, layers, skip=skip)
+        done = resumed
+        try:
+            for i, j, accuracy in self._iter_results(jobs):
+                accuracies[i, j] = accuracy
+                done += 1
+                if journal_obj is not None:
+                    journal_obj.record(i, j, xs[i], accuracy)
+                if progress is not None:
+                    progress(done, total, (i, j, accuracy))
+        finally:
+            if journal_obj is not None:
+                journal_obj.close()
+        meta = {"rows": self.rows, "cols": self.cols,
+                "repeats": repeats, "layers": layers,
+                "executor": getattr(self._executor, "name",
+                                    type(self._executor).__name__),
+                "backend": self.backend}
+        if journal is not None:
+            meta["journal"] = str(journal)
+            meta["resumed_cells"] = resumed
+        return SweepResult(label=label, xs=xs, accuracies=accuracies,
+                           baseline=self.baseline_accuracy(), meta=meta)
+
+    def _fingerprint(self) -> str:
+        """Digest of the evaluator's data snapshot and the model weights.
+
+        Journals store it so a resume against a different test set, a
+        retrained model, or different injection timing is refused instead
+        of silently mixing incompatible accuracies into one result.
+        """
+        digest = hashlib.sha1()
+        for array in (self._evaluator.x_test, self._evaluator.y_test):
+            digest.update(str(array.shape).encode())
+            digest.update(np.ascontiguousarray(array).tobytes())
+        for key, value in sorted(self.model.state_dict().items()):
+            digest.update(key.encode())
+            digest.update(np.ascontiguousarray(value).tobytes())
+        return digest.hexdigest()
+
+    def _iter_results(self, jobs):
+        """Stream results from the executor as cells complete (falling
+        back to the batch ``run`` API for plain executor objects)."""
+        run_iter = getattr(self._executor, "run_iter", None)
+        if run_iter is not None:
+            return run_iter(jobs, self._evaluator)
+        return iter(self._executor.run(jobs, self._evaluator))

@@ -18,9 +18,9 @@ Seeding scheme
 --------------
 Job plans are drawn from :meth:`FaultGenerator.job_seed`
 (``base_seed + 7919*repeat + 104729*point``), a pure function of the grid
-coordinates.  Because plans are generated before any executor runs, the
-``serial`` and ``multiprocessing`` executors are *bit-identical*: same
-seeds → same plans → same accuracies, regardless of scheduling order.
+coordinates.  Because plans are generated before any executor runs, every
+executor is *bit-identical*: same seeds → same plans → same accuracies,
+regardless of scheduling order.
 
 Redundant-work elimination
 --------------------------
@@ -39,6 +39,10 @@ Redundant-work elimination
   across jobs, which arms the quantized layers' input-representation
   caches (im2col / bit-packing reuse, see :mod:`repro.binary.layers`).
 
+The evaluator takes a **defensive snapshot** of the test set at
+construction: mutating the caller's arrays afterwards can never desync the
+cached prefix activations from the data they were computed on.
+
 Packed vs float execution
 -------------------------
 ``backend="packed"`` switches the quantized layers to the XNOR/popcount
@@ -53,15 +57,37 @@ Executors
 ``serial``
     In-process loop.  Shares the caller's evaluator and all its caches.
 ``multiprocessing``
-    A process pool (default ``n_jobs=os.cpu_count()``); each worker
-    builds one evaluator (worker-local model + read-only test set) in its
-    initializer and reuses it for every job it is handed.
+    A process pool (default ``n_jobs=os.cpu_count()``, overridable with
+    the ``REPRO_N_JOBS`` environment variable); each worker builds one
+    evaluator in its initializer and reuses it for every job it is
+    handed.  The test set is pickled into each worker once.
+``shared_memory``
+    Same pool, but the test set lives in
+    :mod:`multiprocessing.shared_memory` blocks that workers attach
+    **zero-copy** — the per-worker payload shrinks to the model plus a
+    few block descriptors, independent of dataset size.
+
+Both pool executors *stream* results back (``imap_unordered``) through
+:meth:`run_iter`, so callers can journal/report progress as cells finish,
+and both preserve the caller's warm layer caches: the model's transient
+state is stripped only for the duration of worker start-up and restored
+afterwards.
+
+Batch-level parallelism
+-----------------------
+When the job grid is smaller than the pool (e.g. a single-point sweep on
+a many-core machine), the pool executors split *within* each evaluation:
+test batches are sharded across workers and the per-shard
+``(correct, total)`` counts reduced in the parent.  Integer count
+reduction keeps the accuracy bit-identical to the unsharded division.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from collections.abc import Callable, Sequence
+import pickle
+from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -77,10 +103,14 @@ __all__ = [
     "CampaignEvaluator",
     "SerialExecutor",
     "MultiprocessingExecutor",
+    "SharedMemoryExecutor",
     "build_jobs",
     "get_executor",
     "plan_has_faults",
 ]
+
+#: job result: (point index, repeat index, accuracy)
+JobResult = tuple[int, int, float]
 
 
 @dataclass(frozen=True)
@@ -103,16 +133,24 @@ def build_jobs(model: Sequential,
                spec_factory: Callable[[float], list[FaultSpec] | FaultSpec],
                xs: Sequence[float], repeats: int, seed: int,
                rows: int, cols: int,
-               layers: list[str] | None = None) -> list[CampaignJob]:
+               layers: list[str] | None = None,
+               skip: set[tuple[int, int]] | None = None) -> list[CampaignJob]:
     """Flatten the sweep grid into jobs with pre-generated fault plans.
 
     Mask generation happens here — outside the evaluation loop, before any
     executor starts — so scheduling order can never affect the plans.
+    ``skip`` omits (point, repeat) cells (e.g. already-journaled ones)
+    without disturbing the remaining cells' plans: each job's seed is a
+    pure function of its own grid coordinates.
     """
     jobs: list[CampaignJob] = []
     for i, x_value in enumerate(xs):
+        if skip is not None and all((i, j) in skip for j in range(repeats)):
+            continue
         specs = spec_factory(x_value)
         for j in range(repeats):
+            if skip is not None and (i, j) in skip:
+                continue
             job_seed = FaultGenerator.job_seed(seed, i, j)
             generator = FaultGenerator(specs, rows=rows, cols=cols,
                                        seed=job_seed)
@@ -125,28 +163,40 @@ def build_jobs(model: Sequential,
 class CampaignEvaluator:
     """Evaluates fault plans on a fixed model + test set, with caching.
 
-    The test set is treated as **read-only** for the lifetime of the
-    evaluator (batches and cached prefix activations are marked
-    non-writeable so the layer-level input caches may key on identity).
+    The evaluator snapshots ``x_test``/``y_test`` at construction
+    (``copy_data=True``, the default) and marks the snapshot read-only, so
+    the layer-level input caches may key on identity and later caller-side
+    mutations cannot silently serve stale prefix activations.  Workers
+    attaching process-private or shared-memory arrays pass
+    ``copy_data=False`` to stay zero-copy; such arrays must never be
+    written while the evaluator lives.
+
+    Cache invalidation keys on ``model.weights_version``, which training
+    steps and ``load_state_dict`` bump.  Code that mutates
+    ``layer.params[...]`` directly, bypassing those paths, must bump
+    ``model.weights_version`` (or call :meth:`clear_caches`) itself —
+    the evaluator cannot observe raw in-place array writes.
     """
 
     def __init__(self, model: Sequential, x_test: np.ndarray,
                  y_test: np.ndarray, batch_size: int = 256,
                  continue_time_across_layers: bool = True,
-                 backend: str = "float"):
+                 backend: str = "float", copy_data: bool = True):
         if backend not in ("float", "packed"):
             raise ValueError(f"unknown execution backend {backend!r}; "
                              "use 'float' or 'packed'")
         self.model = model
         self.batch_size = batch_size
         self.backend = backend
-        self.x_test = x_test.view()
+        self.x_test = np.array(x_test) if copy_data else x_test.view()
         self.x_test.flags.writeable = False
-        self.y_test = y_test
+        self.y_test = np.array(y_test) if copy_data else y_test.view()
+        self.y_test.flags.writeable = False
         self.injector = FaultInjector(continue_time_across_layers)
         self._baseline: float | None = None
-        #: top-level split index -> list of (activation batch, label batch)
-        self._suffix_batches: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        #: (split, shard, n_shards) -> list of (activation batch, label batch)
+        self._suffix_batches: dict[tuple[int, int, int],
+                                   list[tuple[np.ndarray, np.ndarray]]] = {}
         self._weights_version = getattr(model, "weights_version", None)
 
     def _check_weights_version(self) -> None:
@@ -197,38 +247,55 @@ class CampaignEvaluator:
                 return index
         return len(self.model.layers)
 
-    def _batches_for(self, split: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    def _baseline_split(self) -> int:
+        """The deepest fault-free prefix any plan could share: everything
+        before the first mapped layer."""
+        mapped = [layer.name for layer in mapped_layers(self.model)]
+        return self._split_for(mapped) if mapped else 0
+
+    def _batches_for(self, split: int, shard: int = 0, n_shards: int = 1
+                     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Per-batch activations after ``layers[:split]``, computed once.
 
-        Batch boundaries match :meth:`Sequential.evaluate`, so suffix
-        evaluation is arithmetic-for-arithmetic the full forward pass.
+        Batch boundaries match :meth:`Sequential.evaluate` regardless of
+        sharding — a shard takes every ``n_shards``-th *global* batch — so
+        suffix evaluation is arithmetic-for-arithmetic the full forward
+        pass and shard counts sum to the unsharded counts exactly.
         """
-        cached = self._suffix_batches.get(split)
+        key = (split, shard, n_shards)
+        cached = self._suffix_batches.get(key)
         if cached is not None:
             return cached
         prefix = self.model.layers[:split]
         batches: list[tuple[np.ndarray, np.ndarray]] = []
         n = len(self.x_test)
-        for start in range(0, n, self.batch_size):
+        for index, start in enumerate(range(0, n, self.batch_size)):
+            if index % n_shards != shard:
+                continue
             z = self.x_test[start:start + self.batch_size]
             for layer in prefix:
                 z = layer.forward(z, training=False)
             z = np.ascontiguousarray(z)
             z.flags.writeable = False
             batches.append((z, self.y_test[start:start + self.batch_size]))
-        self._suffix_batches[split] = batches
+        self._suffix_batches[key] = batches
         return batches
 
-    def _evaluate_suffix(self, split: int) -> float:
+    def _suffix_counts(self, split: int, shard: int = 0, n_shards: int = 1
+                       ) -> tuple[int, int]:
         suffix = self.model.layers[split:]
         correct = 0
         total = 0
-        for z, labels in self._batches_for(split):
+        for z, labels in self._batches_for(split, shard, n_shards):
             out = z
             for layer in suffix:
                 out = layer.forward(out, training=False)
             correct += int((out.argmax(axis=-1) == labels).sum())
             total += len(labels)
+        return correct, total
+
+    def _evaluate_suffix(self, split: int) -> float:
+        correct, total = self._suffix_counts(split)
         return correct / total
 
     # -- public API ------------------------------------------------------
@@ -237,10 +304,8 @@ class CampaignEvaluator:
         if the model's weights change in place)."""
         self._check_weights_version()
         if self._baseline is None:
-            mapped = [layer.name for layer in mapped_layers(self.model)]
-            split = self._split_for(mapped) if mapped else 0
             with self._backend_scope():
-                self._baseline = self._evaluate_suffix(split)
+                self._baseline = self._evaluate_suffix(self._baseline_split())
         return self._baseline
 
     def evaluate_plan(self, plan: FaultPlan) -> float:
@@ -254,7 +319,26 @@ class CampaignEvaluator:
         with self._backend_scope(), self.injector.injecting(self.model, plan):
             return self._evaluate_suffix(split)
 
-    def run_job(self, job: CampaignJob) -> tuple[int, int, float]:
+    def evaluate_plan_counts(self, plan: FaultPlan, shard: int = 0,
+                             n_shards: int = 1) -> tuple[int, int]:
+        """``(correct, total)`` under ``plan`` over every ``n_shards``-th
+        test batch starting at ``shard``.
+
+        The batch-level splitter reduces these integer counts across
+        shards; ``sum(correct)/sum(total)`` equals :meth:`evaluate_plan`
+        bit-for-bit because the per-batch arithmetic and the final
+        division are unchanged.
+        """
+        self._check_weights_version()
+        if not plan_has_faults(plan):
+            with self._backend_scope():
+                return self._suffix_counts(self._baseline_split(),
+                                           shard, n_shards)
+        split = self._split_for(plan.keys())
+        with self._backend_scope(), self.injector.injecting(self.model, plan):
+            return self._suffix_counts(split, shard, n_shards)
+
+    def run_job(self, job: CampaignJob) -> JobResult:
         return job.point_index, job.repeat_index, self.evaluate_plan(job.plan)
 
 
@@ -266,11 +350,18 @@ class SerialExecutor:
     name = "serial"
 
     def run(self, jobs: Sequence[CampaignJob],
-            evaluator: CampaignEvaluator) -> list[tuple[int, int, float]]:
-        return [evaluator.run_job(job) for job in jobs]
+            evaluator: CampaignEvaluator) -> list[JobResult]:
+        return list(self.run_iter(jobs, evaluator))
+
+    def run_iter(self, jobs: Sequence[CampaignJob],
+                 evaluator: CampaignEvaluator) -> Iterator[JobResult]:
+        for job in jobs:
+            yield evaluator.run_job(job)
 
 
 _WORKER_EVALUATOR: CampaignEvaluator | None = None
+#: attached shared-memory blocks, kept referenced so the mappings survive
+_WORKER_SHM: list = []
 
 
 def _init_worker(payload: dict) -> None:
@@ -280,46 +371,249 @@ def _init_worker(payload: dict) -> None:
         payload["model"], payload["x_test"], payload["y_test"],
         batch_size=payload["batch_size"],
         continue_time_across_layers=payload["continue_time"],
-        backend=payload["backend"])
+        backend=payload["backend"],
+        copy_data=False)  # the pickled arrays are already process-private
 
 
-def _run_worker_job(job: CampaignJob) -> tuple[int, int, float]:
+def _attach_shared_array(descriptor: dict) -> np.ndarray:
+    """Attach one shared-memory block zero-copy as a read-only array."""
+    from multiprocessing import shared_memory
+
+    # NOTE: CPython < 3.13 registers attachments with the (fork-shared)
+    # resource tracker as if this worker owned the block (bpo-39959).
+    # That is harmless here — registrations deduplicate and the parent
+    # unregisters on unlink — and unregistering per worker would race the
+    # parent into a double-unregister.
+    shm = shared_memory.SharedMemory(name=descriptor["name"])
+    array = np.ndarray(tuple(descriptor["shape"]),
+                       dtype=np.dtype(descriptor["dtype"]), buffer=shm.buf)
+    array.flags.writeable = False
+    _WORKER_SHM.append(shm)  # keep the mapping alive for the worker's life
+    return array
+
+
+def _init_worker_shm(payload: dict) -> None:
+    """Pool initializer for the shared-memory executor: attach, don't copy."""
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = CampaignEvaluator(
+        payload["model"],
+        _attach_shared_array(payload["x_shm"]),
+        _attach_shared_array(payload["y_shm"]),
+        batch_size=payload["batch_size"],
+        continue_time_across_layers=payload["continue_time"],
+        backend=payload["backend"],
+        copy_data=False)
+
+
+def _run_worker_job(job: CampaignJob) -> JobResult:
     return _WORKER_EVALUATOR.run_job(job)
+
+
+def _run_worker_shard(task: tuple[CampaignJob, int, int]
+                      ) -> tuple[int, int, int, int]:
+    """Evaluate one shard of one job: (point, repeat, correct, total)."""
+    job, shard, n_shards = task
+    correct, total = _WORKER_EVALUATOR.evaluate_plan_counts(
+        job.plan, shard, n_shards)
+    return job.point_index, job.repeat_index, correct, total
+
+
+def _payload_nbytes(payload: dict) -> int:
+    """Serialized size of a worker initializer payload.
+
+    Arrays are counted at ``nbytes`` instead of being pickled: serializing
+    a multi-megabyte test set per :meth:`run_iter` call just to measure it
+    would dwarf the metric's value (on fork start, nothing is pickled at
+    all).  Called inside the transient-state stash so the model component
+    reflects what a worker actually receives, not the caller's warm
+    caches.
+    """
+    arrays = sum(value.nbytes for value in payload.values()
+                 if isinstance(value, np.ndarray))
+    rest = {key: value for key, value in payload.items()
+            if not isinstance(value, np.ndarray)}
+    return arrays + len(pickle.dumps(rest, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@contextmanager
+def _transient_state_stashed(model: Sequential):
+    """Strip per-layer scratch state for the duration of the block, then
+    restore it.
+
+    Worker start-up must not pickle (or fork-inherit) the caller's warm
+    im2col/packing caches — but it must not *discard* them either: a
+    serial evaluator sharing the model would silently lose its warm state
+    every time a pool spins up.
+    """
+    saved: list[tuple[object, dict]] = []
+    for layer in model.all_layers():
+        entry = {attr: getattr(layer, attr)
+                 for attr in ("_packed_kernel_cache", "_input_cache", "_cache")
+                 if hasattr(layer, attr)}
+        if entry:
+            saved.append((layer, entry))
+    _strip_transient_state(model)
+    try:
+        yield
+    finally:
+        for layer, entry in saved:
+            for attr, value in entry.items():
+                setattr(layer, attr, value)
 
 
 class MultiprocessingExecutor:
     """Process-pool executor with worker-local models.
 
     The model and test set ship to each worker once (pool initializer);
-    jobs only carry their fault plans.  Results are bit-identical to the
-    serial executor because plans are pre-generated and the per-batch
-    arithmetic is unchanged.
+    jobs only carry their fault plans.  Results stream back unordered as
+    they complete.  They are bit-identical to the serial executor because
+    plans are pre-generated and the per-batch arithmetic is unchanged.
+
+    When the job grid is smaller than the pool, evaluation splits at the
+    batch level instead: each worker scores a shard of the test batches
+    and the parent reduces the integer ``(correct, total)`` counts.
     """
 
     name = "multiprocessing"
+    _initializer = staticmethod(_init_worker)
 
     def __init__(self, n_jobs: int | None = None):
-        self.n_jobs = n_jobs if n_jobs and n_jobs > 0 else (os.cpu_count() or 1)
+        if not n_jobs or n_jobs <= 0:
+            n_jobs = int(os.environ.get("REPRO_N_JOBS", 0) or 0)
+        self.n_jobs = n_jobs if n_jobs > 0 else (os.cpu_count() or 1)
+        #: serialized size of the per-worker initializer payload on the
+        #: most recent pooled run, arrays counted at ``nbytes`` (0 after a
+        #: serial fallback, None before any run) — see _payload_nbytes
+        self.payload_bytes: int | None = None
 
-    def run(self, jobs: Sequence[CampaignJob],
-            evaluator: CampaignEvaluator) -> list[tuple[int, int, float]]:
-        if self.n_jobs == 1 or len(jobs) <= 1:
-            return SerialExecutor().run(jobs, evaluator)
-        import multiprocessing
-
-        _strip_transient_state(evaluator.model)
+    def _make_payload(self, evaluator: CampaignEvaluator
+                      ) -> tuple[dict, Callable[[], None]]:
+        """Build the initializer payload; returns ``(payload, cleanup)``."""
         payload = {
             "model": evaluator.model,
             "x_test": np.asarray(evaluator.x_test),
-            "y_test": evaluator.y_test,
+            "y_test": np.asarray(evaluator.y_test),
             "batch_size": evaluator.batch_size,
             "continue_time": evaluator.injector.continue_time_across_layers,
             "backend": evaluator.backend,
         }
-        chunksize = max(1, len(jobs) // (4 * self.n_jobs))
-        with multiprocessing.Pool(self.n_jobs, initializer=_init_worker,
-                                  initargs=(payload,)) as pool:
-            return pool.map(_run_worker_job, jobs, chunksize=chunksize)
+        return payload, lambda: None
+
+    def _shard_count(self, n_pending: int, n_batches: int) -> int:
+        """Shards per job when the grid underfills the pool, else 1."""
+        if n_pending == 0 or n_pending >= self.n_jobs or n_batches <= 1:
+            return 1
+        return min(n_batches, math.ceil(self.n_jobs / n_pending))
+
+    def run(self, jobs: Sequence[CampaignJob],
+            evaluator: CampaignEvaluator) -> list[JobResult]:
+        return list(self.run_iter(jobs, evaluator))
+
+    def run_iter(self, jobs: Sequence[CampaignJob],
+                 evaluator: CampaignEvaluator) -> Iterator[JobResult]:
+        jobs = list(jobs)
+        n_shards = self._shard_count(len(jobs), self._n_batches(evaluator))
+        if self.n_jobs == 1 or (len(jobs) <= 1 and n_shards <= 1):
+            self.payload_bytes = 0
+            yield from SerialExecutor().run_iter(jobs, evaluator)
+            return
+        import multiprocessing
+
+        payload, cleanup = self._make_payload(evaluator)
+        try:
+            with _transient_state_stashed(evaluator.model):
+                self.payload_bytes = _payload_nbytes(payload)
+                pool = multiprocessing.Pool(self.n_jobs,
+                                            initializer=self._initializer,
+                                            initargs=(payload,))
+            try:
+                if n_shards > 1:
+                    yield from self._run_sharded(pool, jobs, n_shards)
+                else:
+                    chunksize = max(1, len(jobs) // (4 * self.n_jobs))
+                    yield from pool.imap_unordered(_run_worker_job, jobs,
+                                                   chunksize=chunksize)
+            finally:
+                pool.terminate()
+                pool.join()
+        finally:
+            cleanup()
+
+    @staticmethod
+    def _n_batches(evaluator: CampaignEvaluator) -> int:
+        return math.ceil(len(evaluator.x_test) / evaluator.batch_size)
+
+    @staticmethod
+    def _run_sharded(pool, jobs: Sequence[CampaignJob], n_shards: int
+                     ) -> Iterator[JobResult]:
+        """Batch-level splitter: shard each job across the pool and reduce
+        integer counts; yields each cell once its shards all arrived."""
+        tasks = [(job, shard, n_shards)
+                 for job in jobs for shard in range(n_shards)]
+        pending: dict[tuple[int, int], list[int]] = {}
+        for i, j, correct, total in pool.imap_unordered(_run_worker_shard,
+                                                        tasks):
+            entry = pending.setdefault((i, j), [0, 0, n_shards])
+            entry[0] += correct
+            entry[1] += total
+            entry[2] -= 1
+            if entry[2] == 0:
+                del pending[(i, j)]
+                yield i, j, entry[0] / entry[1]
+
+
+class SharedMemoryExecutor(MultiprocessingExecutor):
+    """Pool executor whose test set lives in shared memory.
+
+    The parent copies ``x_test``/``y_test`` into
+    :class:`multiprocessing.shared_memory.SharedMemory` blocks once;
+    workers attach them zero-copy in their initializer.  The pickled
+    per-worker payload therefore carries only the model and two block
+    descriptors — it no longer scales with the dataset.  Blocks are
+    unlinked as soon as the run finishes.
+    """
+
+    name = "shared_memory"
+    _initializer = staticmethod(_init_worker_shm)
+
+    def _make_payload(self, evaluator: CampaignEvaluator
+                      ) -> tuple[dict, Callable[[], None]]:
+        from multiprocessing import shared_memory
+
+        blocks: list = []
+
+        def share(array: np.ndarray) -> dict:
+            array = np.ascontiguousarray(array)
+            shm = shared_memory.SharedMemory(create=True,
+                                             size=max(1, array.nbytes))
+            blocks.append(shm)
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+            return {"name": shm.name, "shape": array.shape,
+                    "dtype": str(array.dtype)}
+
+        def cleanup() -> None:
+            for shm in blocks:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+        try:
+            payload = {
+                "model": evaluator.model,
+                "x_shm": share(evaluator.x_test),
+                "y_shm": share(evaluator.y_test),
+                "batch_size": evaluator.batch_size,
+                "continue_time":
+                    evaluator.injector.continue_time_across_layers,
+                "backend": evaluator.backend,
+            }
+        except Exception:
+            cleanup()
+            raise
+        return payload, cleanup
 
 
 def _strip_transient_state(model: Sequential) -> None:
@@ -334,14 +628,23 @@ def _strip_transient_state(model: Sequential) -> None:
             layer._cache = None
 
 
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "multiprocessing": MultiprocessingExecutor,
+    "shared_memory": SharedMemoryExecutor,
+    "shm": SharedMemoryExecutor,
+}
+
+
 def get_executor(executor, n_jobs: int | None = None):
-    """Resolve an executor by name ('serial' / 'multiprocessing') or pass
-    executor objects through."""
+    """Resolve an executor by name ('serial' / 'multiprocessing' /
+    'shared_memory') or pass executor objects through."""
     if not isinstance(executor, str):
         return executor
-    if executor == "serial":
-        return SerialExecutor()
-    if executor == "multiprocessing":
-        return MultiprocessingExecutor(n_jobs)
-    raise ValueError(f"unknown executor {executor!r}; "
-                     "use 'serial' or 'multiprocessing'")
+    cls = _EXECUTORS.get(executor)
+    if cls is None:
+        raise ValueError(f"unknown executor {executor!r}; use 'serial', "
+                         "'multiprocessing' or 'shared_memory'")
+    if cls is SerialExecutor:
+        return cls()
+    return cls(n_jobs)

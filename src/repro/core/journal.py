@@ -1,0 +1,121 @@
+"""On-disk JSONL journal making interrupted campaigns resumable.
+
+A journaled :meth:`FaultCampaign.run` appends one JSON line per completed
+``(point, repeat)`` cell as results stream out of the executor.  If the
+process dies mid-grid, rerunning with the same journal path replays the
+recorded cells from disk and only evaluates the missing ones — the
+resumed :class:`SweepResult` is bit-identical to an uninterrupted run
+because accuracies round-trip exactly through ``repr``-based JSON floats
+and the per-cell seeds are pure functions of the grid coordinates.
+
+File layout: the first line is a header describing the campaign grid
+(``xs``, ``repeats``, ``seed``, crossbar geometry, backend, layer
+restriction, injection timing, and a fingerprint of the test-set
+snapshot + model weights); every following line is a result cell::
+
+    {"kind": "header", "version": 1, "xs": [0.0, 0.1], "repeats": 3, ...}
+    {"point": 0, "repeat": 0, "x": 0.0, "accuracy": 0.9625}
+    ...
+
+Resuming validates the header against the requested grid and refuses to
+mix journals across campaigns.  A torn final line (the process was killed
+mid-write) is ignored; that cell is simply re-evaluated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["CampaignJournal"]
+
+_VERSION = 1
+
+#: header fields that must match for a journal to be resumed; the
+#: fingerprint digests the test-set snapshot and model weights, so stale
+#: data or a retrained model cannot silently mix into a resumed result
+_GRID_KEYS = ("xs", "repeats", "seed", "rows", "cols", "layers", "backend",
+              "continue_time", "specs", "fingerprint")
+
+
+class CampaignJournal:
+    """Append-only JSONL record of completed campaign cells.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with its parent directory) on first use.
+    header:
+        Grid description; must contain the :data:`_GRID_KEYS` fields.
+    """
+
+    def __init__(self, path, header: dict):
+        self.path = Path(path)
+        self.header = {"kind": "header", "version": _VERSION, **header}
+        #: cells already on disk: (point, repeat) -> accuracy
+        self.completed: dict[tuple[int, int], float] = {}
+        self._handle = None
+
+    # -- lifecycle -------------------------------------------------------
+    def open(self) -> "CampaignJournal":
+        """Load any existing cells, then open the file for appending."""
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        if not fresh:
+            self._load_existing()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._write_line(self.header)
+        return self
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- I/O -------------------------------------------------------------
+    def _load_existing(self) -> None:
+        with open(self.path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        try:
+            head = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError) as error:
+            raise ValueError(
+                f"{self.path} is not a campaign journal "
+                "(unreadable header line)") from error
+        if head.get("kind") != "header":
+            raise ValueError(f"{self.path} is not a campaign journal "
+                             "(first line is not a header)")
+        for key in _GRID_KEYS:
+            if head.get(key) != self.header.get(key):
+                raise ValueError(
+                    f"journal {self.path} was written for a different "
+                    f"campaign: {key}={head.get(key)!r} on disk vs "
+                    f"{self.header.get(key)!r} requested")
+        for line in lines[1:]:
+            try:
+                cell = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed writer: re-evaluate it
+            if "point" in cell and "repeat" in cell and "accuracy" in cell:
+                self.completed[(cell["point"], cell["repeat"])] = \
+                    cell["accuracy"]
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, point: int, repeat: int, x: float,
+               accuracy: float) -> None:
+        """Append one completed cell, durably (flush + fsync)."""
+        self.completed[(point, repeat)] = accuracy
+        self._write_line({"point": point, "repeat": repeat,
+                          "x": float(x), "accuracy": float(accuracy)})

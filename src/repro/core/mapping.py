@@ -51,7 +51,9 @@ class LayerMapping:
             terms=layer.reduction_length(),
             filters=layer.output_channels,
             rows=rows, cols=cols)
-        self._occurrence: np.ndarray | None = None
+        #: memoized (tiling divisor, occurrence template) — see
+        #: :meth:`output_flip_selector`
+        self._occurrence: tuple[int, np.ndarray] | None = None
 
     # -- op accounting (the generator's report) ------------------------------
     @property
@@ -82,10 +84,16 @@ class LayerMapping:
         outputs = self.layer.outputs_per_image()
         selector = tile_vector(flip_vector, outputs).copy()
         if period > 1:
-            if self._occurrence is None or len(self._occurrence) != outputs:
-                # plan-independent template, reused across campaign repetitions
-                self._occurrence = np.arange(outputs) // len(flip_vector)
-            occurrence = self._occurrence + time_offset
+            cached = self._occurrence
+            if (cached is None or cached[0] != len(flip_vector)
+                    or len(cached[1]) != outputs):
+                # plan-independent template, reused across campaign
+                # repetitions; keyed on the tiling divisor so vectors of a
+                # different length cannot reuse the wrong schedule
+                cached = (len(flip_vector),
+                          np.arange(outputs) // len(flip_vector))
+                self._occurrence = cached
+            occurrence = cached[1] + time_offset
             selector &= (occurrence % period == 0)
         return selector
 

@@ -54,10 +54,20 @@ def _unpack_plane(payload: bytes, rows: int, cols: int) -> np.ndarray:
 
 
 def save_fault_vectors(path, plan: dict[str, LayerMasks]) -> None:
-    """Write a fault plan to an annotated binary vector file."""
+    """Write a fault plan to an annotated binary vector file.
+
+    Raises :class:`ValueError` if a layer name does not fit the format's
+    u16 name field (after UTF-8 encoding) — truncating or wrapping it
+    silently would corrupt every record that follows.
+    """
     chunks = [struct.pack("<4sHI", MAGIC, VERSION, len(plan))]
     for name, masks in plan.items():
         encoded = name.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ValueError(
+                f"layer name too long for the fault-vector format: "
+                f"{len(encoded)} UTF-8 bytes (max 65535) for "
+                f"{name[:32] + '...' if len(name) > 32 else name!r}")
         chunks.append(struct.pack("<H", len(encoded)))
         chunks.append(encoded)
         chunks.append(struct.pack(
@@ -71,26 +81,55 @@ def save_fault_vectors(path, plan: dict[str, LayerMasks]) -> None:
         handle.write(b"".join(chunks))
 
 
+def _take(data: bytes, offset: int, size: int, what: str) -> int:
+    """Bounds-check a read of ``size`` bytes; returns the new offset."""
+    if offset + size > len(data):
+        raise ValueError(
+            f"truncated or corrupt fault-vector file: needed {size} bytes "
+            f"for {what} at offset {offset}, file ends at {len(data)}")
+    return offset + size
+
+
 def load_fault_vectors(path) -> dict[str, LayerMasks]:
-    """Read a fault plan back from an annotated binary vector file."""
+    """Read a fault plan back from an annotated binary vector file.
+
+    Raises :class:`ValueError` (never a bare :class:`struct.error`) on
+    foreign, truncated or otherwise corrupt files, naming the field and
+    offset where the data ran out.
+    """
     with open(path, "rb") as handle:
         data = handle.read()
+    header_size = struct.calcsize("<4sHI")
+    _take(data, 0, header_size, "file header")
     magic, version, count = struct.unpack_from("<4sHI", data, 0)
     if magic != MAGIC:
         raise ValueError(f"not a FLIM fault-vector file (magic {magic!r})")
     if version != VERSION:
         raise ValueError(f"unsupported fault-vector version {version}")
-    offset = struct.calcsize("<4sHI")
+    offset = header_size
     plan: dict[str, LayerMasks] = {}
-    for _ in range(count):
+    for record in range(count):
+        what = f"record {record}/{count}"
+        _take(data, offset, 2, f"{what} name length")
         (name_len,) = struct.unpack_from("<H", data, offset)
         offset += 2
-        name = data[offset:offset + name_len].decode("utf-8")
-        offset += name_len
+        end = _take(data, offset, name_len, f"{what} layer name")
+        name = data[offset:end].decode("utf-8")
+        offset = end
+        meta_size = struct.calcsize("<IIIBB")
+        _take(data, offset, meta_size, f"{what} ({name}) geometry")
         rows, cols, period, flip_sem, stuck_sem = struct.unpack_from(
             "<IIIBB", data, offset)
-        offset += struct.calcsize("<IIIBB")
+        offset += meta_size
+        if rows == 0 or cols == 0:
+            raise ValueError(f"corrupt fault-vector file: {what} ({name}) "
+                             f"declares an empty {rows}x{cols} crossbar")
+        if flip_sem not in _SEMANTICS_NAME or stuck_sem not in _SEMANTICS_NAME:
+            raise ValueError(
+                f"corrupt fault-vector file: {what} ({name}) has unknown "
+                f"semantics codes flip={flip_sem} stuck={stuck_sem}")
         plane_bytes = -(-rows * cols // 8)
+        _take(data, offset, 3 * plane_bytes, f"{what} ({name}) mask planes")
         flip = _unpack_plane(data[offset:offset + plane_bytes], rows, cols)
         offset += plane_bytes
         stuck = _unpack_plane(data[offset:offset + plane_bytes], rows, cols)

@@ -27,17 +27,25 @@ __all__ = ["DEFAULT_RATES", "layer_sweeps", "run_fig4a", "run_fig4b",
 DEFAULT_RATES = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
 
 
-def _campaign(model: Sequential, test: Dataset, rows: int, cols: int
-              ) -> FaultCampaign:
-    return FaultCampaign(model, test.x, test.y, rows=rows, cols=cols)
+def _campaign(model: Sequential, test: Dataset, rows: int, cols: int,
+              executor: str | object = "serial", n_jobs: int | None = None,
+              backend: str = "float") -> FaultCampaign:
+    return FaultCampaign(model, test.x, test.y, rows=rows, cols=cols,
+                         executor=executor, n_jobs=n_jobs, backend=backend)
 
 
 def layer_sweeps(model: Sequential, test: Dataset, spec_factory,
                  xs, repeats: int, rows: int = 40, cols: int = 10,
-                 layer_names=LENET_MAPPED_LAYERS, seed: int = 0
-                 ) -> dict[str, SweepResult]:
-    """Per-layer sweeps plus the 'combined' all-layer sweep (Fig. 4a/b)."""
-    campaign = _campaign(model, test, rows, cols)
+                 layer_names=LENET_MAPPED_LAYERS, seed: int = 0,
+                 executor: str | object = "serial", n_jobs: int | None = None,
+                 backend: str = "float") -> dict[str, SweepResult]:
+    """Per-layer sweeps plus the 'combined' all-layer sweep (Fig. 4a/b).
+
+    The campaign engine options (``executor``/``n_jobs``/``backend``) pass
+    straight through, so every Fig. 4 scenario can run on the pool
+    executors and the packed backend — all bit-identical to serial/float.
+    """
+    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend)
     results: dict[str, SweepResult] = {}
     for name in layer_names:
         results[name] = campaign.run(
@@ -50,29 +58,30 @@ def layer_sweeps(model: Sequential, test: Dataset, spec_factory,
 
 def run_fig4a(model: Sequential, test: Dataset, rates=DEFAULT_RATES,
               repeats: int = 10, rows: int = 40, cols: int = 10,
-              seed: int = 0) -> dict[str, SweepResult]:
+              seed: int = 0, **engine) -> dict[str, SweepResult]:
     """Fig. 4a: bit-flip injection rate vs accuracy, per layer."""
     return layer_sweeps(model, test, FaultSpec.bitflip, rates, repeats,
-                        rows, cols, seed=seed)
+                        rows, cols, seed=seed, **engine)
 
 
 def run_fig4b(model: Sequential, test: Dataset, rates=DEFAULT_RATES,
               repeats: int = 10, rows: int = 40, cols: int = 10,
-              seed: int = 0) -> dict[str, SweepResult]:
+              seed: int = 0, **engine) -> dict[str, SweepResult]:
     """Fig. 4b: stuck-at injection rate vs accuracy, per layer."""
     return layer_sweeps(model, test, FaultSpec.stuck_at, rates, repeats,
-                        rows, cols, seed=seed)
+                        rows, cols, seed=seed, **engine)
 
 
 def run_fig4c(model: Sequential, test: Dataset, periods=(0, 1, 2, 3, 4),
               rate: float = 0.10, repeats: int = 10, rows: int = 40,
-              cols: int = 10, seed: int = 0) -> SweepResult:
+              cols: int = 10, seed: int = 0, executor: str | object = "serial",
+              n_jobs: int | None = None, backend: str = "float") -> SweepResult:
     """Fig. 4c: dynamic faults — sensitization period vs accuracy.
 
     ``period`` counts the XNOR operations needed to sensitize the fault;
     0/1 fire on every operation (the static case).
     """
-    campaign = _campaign(model, test, rows, cols)
+    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend)
     return campaign.run(
         lambda n: FaultSpec.bitflip(rate, period=int(n)),
         xs=list(periods), repeats=repeats, seed=seed, label="dynamic")
@@ -80,10 +89,11 @@ def run_fig4c(model: Sequential, test: Dataset, periods=(0, 1, 2, 3, 4),
 
 def run_fig4d(model: Sequential, test: Dataset, counts=(0, 1, 2, 3, 4),
               repeats: int = 10, rows: int = 40, cols: int = 10,
-              seed: int = 0, layer_names=LENET_MAPPED_LAYERS
-              ) -> dict[str, SweepResult]:
+              seed: int = 0, layer_names=LENET_MAPPED_LAYERS,
+              executor: str | object = "serial", n_jobs: int | None = None,
+              backend: str = "float") -> dict[str, SweepResult]:
     """Fig. 4d: number of faulty crossbar columns vs accuracy, per layer."""
-    campaign = _campaign(model, test, rows, cols)
+    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend)
     results = {}
     for name in layer_names:
         results[name] = campaign.run(
@@ -96,10 +106,11 @@ def run_fig4d(model: Sequential, test: Dataset, counts=(0, 1, 2, 3, 4),
 def run_fig4e(model: Sequential, test: Dataset,
               counts=(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
               repeats: int = 10, rows: int = 40, cols: int = 10,
-              seed: int = 0, layer_names=LENET_MAPPED_LAYERS
-              ) -> dict[str, SweepResult]:
+              seed: int = 0, layer_names=LENET_MAPPED_LAYERS,
+              executor: str | object = "serial", n_jobs: int | None = None,
+              backend: str = "float") -> dict[str, SweepResult]:
     """Fig. 4e: number of faulty crossbar rows vs accuracy, per layer."""
-    campaign = _campaign(model, test, rows, cols)
+    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend)
     results = {}
     for name in layer_names:
         results[name] = campaign.run(

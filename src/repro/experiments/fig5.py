@@ -25,9 +25,15 @@ DYNAMIC_PERIODS = (0, 1, 2, 3, 4, 5)
 
 def model_sweep(spec_factory, xs, models: list[str] | None = None,
                 repeats: int = 5, rows: int = 40, cols: int = 10,
-                seed: int = 0, test: Dataset | None = None
-                ) -> dict[str, SweepResult]:
-    """Run one sweep on every zoo model; returns label -> SweepResult."""
+                seed: int = 0, test: Dataset | None = None,
+                executor: str | object = "serial", n_jobs: int | None = None,
+                backend: str = "float") -> dict[str, SweepResult]:
+    """Run one sweep on every zoo model; returns label -> SweepResult.
+
+    The campaign engine options (``executor``/``n_jobs``/``backend``) pass
+    straight through, so the nine-architecture grids can run on the pool
+    executors and the packed backend — all bit-identical to serial/float.
+    """
     if models is None:
         models = model_names()
     if test is None:
@@ -35,7 +41,9 @@ def model_sweep(spec_factory, xs, models: list[str] | None = None,
     results: dict[str, SweepResult] = {}
     for name in models:
         model = trained_zoo_model(name)
-        campaign = FaultCampaign(model, test.x, test.y, rows=rows, cols=cols)
+        campaign = FaultCampaign(model, test.x, test.y, rows=rows, cols=cols,
+                                 executor=executor, n_jobs=n_jobs,
+                                 backend=backend)
         results[name] = campaign.run(spec_factory, xs, repeats=repeats,
                                      seed=seed, label=name)
     return results

@@ -19,14 +19,23 @@ def test_sweep_result_statistics():
     np.testing.assert_allclose(result.mean(), [0.9, 0.5])
     np.testing.assert_allclose(result.min(), [0.8, 0.4])
     np.testing.assert_allclose(result.max(), [1.0, 0.6])
-    assert result.std()[0] == pytest.approx(np.std([0.9, 1.0, 0.8]))
+    # repetitions are a sample: error bars use the sample estimator
+    assert result.std()[0] == pytest.approx(np.std([0.9, 1.0, 0.8], ddof=1))
+
+
+def test_sweep_result_std_single_repeat_is_zero():
+    """One repetition has no spread estimate; report 0, not NaN."""
+    result = SweepResult(label="single", xs=[0.0, 0.3],
+                         accuracies=np.array([[0.9], [0.5]]), baseline=0.9)
+    np.testing.assert_array_equal(result.std(), [0.0, 0.0])
+    assert not np.isnan(result.as_rows()[0][2])
 
 
 def test_sweep_result_rows():
     rows = make_result().as_rows()
     assert rows[0][0] == 0.0
     assert rows[0][1] == pytest.approx(0.9)
-    assert rows[1][2] == pytest.approx(np.std([0.5, 0.4, 0.6]))
+    assert rows[1][2] == pytest.approx(np.std([0.5, 0.4, 0.6], ddof=1))
 
 
 def test_sweep_result_repr_compact():

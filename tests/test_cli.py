@@ -85,3 +85,41 @@ def test_cost_gate_families_differ(capsys):
 def test_unknown_model_rejected():
     with pytest.raises(SystemExit):
         main(["report", "--model", "not_a_model"])
+
+
+def test_sweep_parallel_with_journal_smoke(capsys, tmp_path):
+    """End-to-end: pool executor + journal + resume through the CLI."""
+    journal = str(tmp_path / "sweep.jsonl")
+    argv = ["sweep", "--rates", "0.0", "0.3", "--repeats", "2",
+            "--images", "60", "--rows", "8", "--cols", "4",
+            "--jobs", "2", "--journal", journal]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "baseline:" in out
+    assert "[multiprocessing/float]" in out
+    assert "0 cells resumed" in out
+
+    # reusing a journal requires --resume ...
+    code, _ = run_cli(capsys, *argv)
+    assert code == 2
+
+    # ... and with it the completed journal replays instantly
+    code, out = run_cli(capsys, *argv, "--resume")
+    assert code == 0
+    assert "4 cells resumed" in out
+
+
+def test_sweep_resume_requires_journal(capsys):
+    code = main(["sweep", "--resume"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--journal" in captured.err
+
+
+def test_sweep_shared_memory_executor_smoke(capsys, tmp_path):
+    code, out = run_cli(capsys, "sweep", "--rates", "0.0", "0.3",
+                        "--repeats", "2", "--images", "60",
+                        "--rows", "8", "--cols", "4",
+                        "--jobs", "2", "--executor", "shared_memory")
+    assert code == 0
+    assert "[shared_memory/float]" in out

@@ -7,8 +7,8 @@ from repro import nn
 from repro.binary import QuantDense
 from repro.core import (CampaignEvaluator, FaultCampaign, FaultGenerator,
                         FaultInjector, FaultSpec, MultiprocessingExecutor,
-                        SerialExecutor, build_jobs, get_executor,
-                        plan_has_faults)
+                        SerialExecutor, SharedMemoryExecutor, build_jobs,
+                        get_executor, plan_has_faults)
 
 
 @pytest.fixture(scope="module")
@@ -88,6 +88,133 @@ def test_serial_and_multiprocessing_bit_identical(trained_setup):
     np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
     assert serial.baseline == parallel.baseline
     assert parallel.meta["executor"] == "multiprocessing"
+
+
+def test_shared_memory_bit_identical_to_serial(trained_setup):
+    """The zero-copy shm executor must match serial on both backends."""
+    model, x, y = trained_setup
+    kwargs = dict(xs=[0.0, 0.2, 0.4], repeats=3, seed=11)
+    serial = FaultCampaign(model, x, y, rows=8, cols=4,
+                           executor="serial").run(FaultSpec.bitflip, **kwargs)
+    for backend in ("float", "packed"):
+        campaign = FaultCampaign(model, x, y, rows=8, cols=4,
+                                 executor="shared_memory", n_jobs=2,
+                                 backend=backend)
+        result = campaign.run(FaultSpec.bitflip, **kwargs)
+        np.testing.assert_array_equal(serial.accuracies, result.accuracies)
+        assert serial.baseline == result.baseline
+        assert result.meta["executor"] == "shared_memory"
+
+
+def test_shared_memory_payload_smaller_than_pickled(trained_setup):
+    """The shm payload must not scale with the test set: it ships block
+    descriptors, not arrays."""
+    model, x, y = trained_setup
+    kwargs = dict(xs=[0.0, 0.3], repeats=2, seed=1)
+    sizes = {}
+    for executor in ("multiprocessing", "shared_memory"):
+        campaign = FaultCampaign(model, x, y, rows=8, cols=4,
+                                 executor=executor, n_jobs=2)
+        campaign.run(FaultSpec.bitflip, **kwargs)
+        sizes[executor] = campaign._executor.payload_bytes
+    assert sizes["shared_memory"] < sizes["multiprocessing"]
+    # the gap is at least the test-set arrays themselves
+    assert sizes["multiprocessing"] - sizes["shared_memory"] > x.nbytes // 2
+
+
+def test_batch_level_split_when_grid_underfills_pool(trained_setup):
+    """A single-job grid on a 2-worker pool must shard test batches and
+    reduce integer counts to the exact unsharded accuracy."""
+    model, x, y = trained_setup
+    kwargs = dict(xs=[0.35], repeats=1, seed=11)
+    serial = FaultCampaign(model, x, y, rows=8, cols=4,
+                           batch_size=16).run(FaultSpec.bitflip, **kwargs)
+    for executor in ("multiprocessing", "shared_memory"):
+        campaign = FaultCampaign(model, x, y, rows=8, cols=4, batch_size=16,
+                                 executor=executor, n_jobs=2)
+        assert campaign._executor._shard_count(1, 7) == 2
+        result = campaign.run(FaultSpec.bitflip, **kwargs)
+        np.testing.assert_array_equal(serial.accuracies, result.accuracies)
+        # the sharded path really ran through the pool, not the fallback
+        assert campaign._executor.payload_bytes > 0
+
+
+def test_shard_counts_sum_to_full_evaluation(trained_setup):
+    """evaluate_plan_counts shards partition the batches exactly."""
+    model, x, y = trained_setup
+    evaluator = CampaignEvaluator(model, x, y, batch_size=16)
+    plan = build_jobs(model, FaultSpec.bitflip, [0.4], 1, 3, 8, 4)[0].plan
+    full_correct, full_total = evaluator.evaluate_plan_counts(plan)
+    assert full_total == len(x)
+    assert full_correct / full_total == evaluator.evaluate_plan(plan)
+    for n_shards in (2, 3):
+        parts = [evaluator.evaluate_plan_counts(plan, shard, n_shards)
+                 for shard in range(n_shards)]
+        assert sum(c for c, _ in parts) == full_correct
+        assert sum(t for _, t in parts) == full_total
+
+
+def test_shard_count_policy():
+    executor = MultiprocessingExecutor(n_jobs=4)
+    assert executor._shard_count(0, 10) == 1   # nothing to run
+    assert executor._shard_count(8, 10) == 1   # grid already fills the pool
+    assert executor._shard_count(1, 1) == 1    # a single batch cannot split
+    assert executor._shard_count(1, 10) == 4   # 1 job on 4 workers
+    assert executor._shard_count(3, 10) == 2   # 3 jobs on 4 workers
+    assert executor._shard_count(1, 3) == 3    # capped by batch count
+
+
+def test_multiprocessing_preserves_caller_caches(trained_setup):
+    """Spinning up a pool must not discard the caller's warm layer caches
+    (mixed serial/parallel use would otherwise thrash them)."""
+    model, x, y = trained_setup
+    evaluator = CampaignEvaluator(model, x, y)
+    evaluator.baseline()  # warm prefix activations + layer input caches
+    jobs = build_jobs(model, FaultSpec.bitflip, [0.3], 2, 0, 8, 4)
+    evaluator.evaluate_plan(jobs[0].plan)  # warm packed-kernel caches too
+    warm_inputs = {layer.name: list(layer._input_cache)
+                   for layer in model.layers_of_type(QuantDense)}
+    assert any(warm_inputs.values()), "test premise: caches must be warm"
+    MultiprocessingExecutor(n_jobs=2).run(jobs, evaluator)
+    for layer in model.layers_of_type(QuantDense):
+        assert layer._input_cache == warm_inputs[layer.name]
+
+
+def test_evaluator_snapshot_immune_to_caller_mutation(trained_setup):
+    """Mutating the caller's arrays after construction must not desync the
+    evaluator's cached prefix activations from its labels/data."""
+    model, x, y = trained_setup
+    x_arg, y_arg = x.copy(), y.copy()
+    evaluator = CampaignEvaluator(model, x_arg, y_arg)
+    before = evaluator.baseline()
+    rng = np.random.default_rng(99)
+    x_arg[:] = rng.choice([-1.0, 1.0], size=x_arg.shape)
+    y_arg[:] = 1 - y_arg
+    evaluator.clear_caches()  # even recomputation must use the snapshot
+    assert evaluator.baseline() == before
+    plan = build_jobs(model, FaultSpec.bitflip, [0.3], 1, 5, 8, 4)[0].plan
+    fresh = CampaignEvaluator(model, x.copy(), y.copy())
+    assert evaluator.evaluate_plan(plan) == fresh.evaluate_plan(plan)
+
+
+def test_repro_n_jobs_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_N_JOBS", "2")
+    assert MultiprocessingExecutor().n_jobs == 2
+    assert SharedMemoryExecutor().n_jobs == 2
+    monkeypatch.delenv("REPRO_N_JOBS")
+    assert MultiprocessingExecutor(3).n_jobs == 3
+
+
+def test_executors_stream_results(trained_setup):
+    """run_iter yields (point, repeat, accuracy) cells incrementally."""
+    model, x, y = trained_setup
+    jobs = build_jobs(model, FaultSpec.bitflip, [0.0, 0.3], 2, 0, 8, 4)
+    evaluator = CampaignEvaluator(model, x, y)
+    expected = {(job.point_index, job.repeat_index) for job in jobs}
+    for executor in (SerialExecutor(), SharedMemoryExecutor(n_jobs=2)):
+        seen = {(i, j): acc for i, j, acc in
+                executor.run_iter(jobs, evaluator)}
+        assert set(seen) == expected
 
 
 def test_float_and_packed_campaigns_bit_identical(trained_setup):

@@ -56,6 +56,78 @@ def test_rejects_foreign_file(tmp_path):
         load_fault_vectors(path)
 
 
+def test_rejects_empty_and_header_only_files(tmp_path):
+    path = tmp_path / "empty.flim"
+    path.write_bytes(b"")
+    with pytest.raises(ValueError, match="truncated"):
+        load_fault_vectors(path)
+    path.write_bytes(MAGIC + b"\x01")  # half a header
+    with pytest.raises(ValueError, match="truncated"):
+        load_fault_vectors(path)
+
+
+@pytest.mark.parametrize("keep", [11, 13, 20, 40, 75])
+def test_truncated_file_raises_clear_valueerror(tmp_path, keep):
+    """Cutting a valid file anywhere must raise ValueError (never a bare
+    struct.error) and name the field that ran out."""
+    path = tmp_path / "faults.flim"
+    save_fault_vectors(path, random_plan(3))
+    data = path.read_bytes()
+    assert keep < len(data)
+    truncated = tmp_path / "cut.flim"
+    truncated.write_bytes(data[:keep])
+    with pytest.raises(ValueError, match="truncated|corrupt"):
+        load_fault_vectors(truncated)
+
+
+def test_corrupt_semantics_code_rejected(tmp_path):
+    path = tmp_path / "faults.flim"
+    plan = {"layer": random_plan(4, layers=("layer",))["layer"]}
+    save_fault_vectors(path, plan)
+    data = bytearray(path.read_bytes())
+    # the flip-semantics byte sits after header + name field + rows/cols/period
+    offset = 10 + 2 + len(b"layer") + 12
+    data[offset] = 99
+    bad = tmp_path / "bad.flim"
+    bad.write_bytes(bytes(data))
+    with pytest.raises(ValueError, match="semantics"):
+        load_fault_vectors(bad)
+
+
+def test_zero_size_crossbar_rejected(tmp_path):
+    path = tmp_path / "faults.flim"
+    save_fault_vectors(path, {"layer": random_plan(5, layers=("layer",))["layer"]})
+    data = bytearray(path.read_bytes())
+    offset = 10 + 2 + len(b"layer")  # rows field (u32)
+    data[offset:offset + 4] = (0).to_bytes(4, "little")
+    bad = tmp_path / "bad.flim"
+    bad.write_bytes(bytes(data))
+    with pytest.raises(ValueError, match="empty"):
+        load_fault_vectors(bad)
+
+
+def test_overlong_layer_name_rejected_on_save(tmp_path):
+    """Names beyond the u16 field must fail loudly, not overflow silently."""
+    rng = np.random.default_rng(6)
+    masks = assemble_layer_masks(4, 4, [FaultSpec.bitflip(0.5)], rng)
+    path = tmp_path / "long.flim"
+    with pytest.raises(ValueError, match="too long"):
+        save_fault_vectors(path, {"x" * 70000: masks})
+    # multi-byte UTF-8 may overflow even below 65536 characters
+    with pytest.raises(ValueError, match="too long"):
+        save_fault_vectors(path, {"ä" * 40000: masks})
+    assert not path.exists() or path.stat().st_size == 0
+
+
+def test_longest_legal_name_roundtrips(tmp_path):
+    rng = np.random.default_rng(7)
+    name = "n" * 0xFFFF
+    masks = assemble_layer_masks(4, 4, [FaultSpec.bitflip(0.5)], rng)
+    path = tmp_path / "max_name.flim"
+    save_fault_vectors(path, {name: masks})
+    assert set(load_fault_vectors(path)) == {name}
+
+
 def test_empty_plan_roundtrip(tmp_path):
     path = tmp_path / "empty.flim"
     save_fault_vectors(path, {})
