@@ -13,9 +13,14 @@ binary LeNet / synthetic MNIST) through
 
 Besides wall-clock speedups the JSON tracks the **payload bytes** each
 pool executor pickles into a worker (shared memory must beat the pickled
-baseline — the script fails otherwise) and the **journal overhead**: the
-cost of streaming cells into a resumable JSONL journal plus the cost of
-resuming a completed journal (which evaluates nothing).
+baseline — the script fails otherwise), the **prefix planes** the
+shared-memory executor publishes (workers must attach the parent's
+fault-free prefix activations instead of recomputing them — the script
+fails if nothing was published), the **input-cache hit rate** of a
+campaign with more test batches than the legacy 8-slot FIFO held (must
+be >0%, where the FIFO cycled at exactly 0%), and the **journal
+overhead**: the cost of streaming cells into a resumable JSONL journal
+plus the cost of resuming a completed journal (which evaluates nothing).
 
 All strategies must agree bit-for-bit; the script fails (exit code 1) if
 they do not, so the reported speedups are guaranteed to be
@@ -121,6 +126,7 @@ def main(argv=None) -> int:
 
     timings: dict[str, float] = {"seed_serial": seed_time}
     payload_bytes: dict[str, int] = {}
+    prefix_planes: dict[str, dict] = {}
     mismatches: list[str] = []
     for executor, backend in [("serial", "float"), ("serial", "packed"),
                               ("multiprocessing", "float"),
@@ -137,14 +143,28 @@ def main(argv=None) -> int:
         shipped = getattr(campaign._executor, "payload_bytes", None)
         if shipped is not None:
             payload_bytes[f"{executor}_{backend}"] = shipped
+        planes = result.meta.get("prefix_plane")
+        if planes is not None:
+            prefix_planes[f"{executor}_{backend}"] = planes
         identical = (np.array_equal(result.accuracies, seed_acc)
                      and result.baseline == seed_baseline)
         if not identical:
             mismatches.append(key)
         print(f"engine {executor:16s}/{backend:6s}: {duration:7.2f} s  "
               f"bit-identical={identical}"
-              + (f"  payload={shipped}B" if shipped else ""))
+              + (f"  payload={shipped}B" if shipped else "")
+              + (f"  planes={planes['batches']}" if planes else ""))
+        campaign.close()  # unlink the published shared-memory planes
     model.set_execution_backend("float")
+
+    # the shared-memory executor must have published prefix activation
+    # planes for the workers to attach (no per-worker prefix recompute)
+    for key in ("shared_memory_float", "shared_memory_packed"):
+        planes = prefix_planes.get(key)
+        if not planes or planes.get("batches", 0) <= 0:
+            mismatches.append(f"prefix_planes_missing_{key}")
+            print(f"FAIL: no prefix activation planes published for {key}",
+                  file=sys.stderr)
 
     shm_payload = payload_bytes.get("shared_memory_float")
     mp_payload = payload_bytes.get("multiprocessing_float")
@@ -179,6 +199,31 @@ def main(argv=None) -> int:
           f"(full resume {resume_time:.3f} s, "
           f"bit-identical={resume_identical})")
 
+    # input-representation cache on a suffix split with more test batches
+    # than the legacy 8-slot FIFO held: the FIFO cycled at a 0% hit rate,
+    # the campaign-sized cache must hit on every repetition after the first
+    cache_batch_size = max(1, images // 10)  # > 8 batches by construction
+    n_batches = -(-images // cache_batch_size)
+    campaign = FaultCampaign(model, test.x, test.y,
+                             batch_size=cache_batch_size)
+    cache_result, cache_time = timed(
+        campaign.run, FaultSpec.bitflip, xs=rates, repeats=repeats,
+        seed=seed)
+    cache_stats = campaign.input_cache_stats()
+    timings["engine_serial_float_small_batches"] = cache_time
+    # static bit-flips are batch-size independent: the small-batch grid
+    # must still reproduce the seed accuracies bit-for-bit
+    if not np.array_equal(cache_result.accuracies, seed_acc):
+        mismatches.append("input_cache_run")
+    if cache_stats["hit_rate"] <= 0.0:
+        mismatches.append("input_cache_hit_rate_zero")
+        print(f"FAIL: input-cache hit rate is 0 on a {n_batches}-batch "
+              "campaign", file=sys.stderr)
+    print(f"input cache ({n_batches} batches of {cache_batch_size}): "
+          f"hit rate {100 * cache_stats['hit_rate']:.1f}% "
+          f"({cache_stats['hits']} hits / {cache_stats['misses']} misses, "
+          f"{cache_stats['bytes']} B pinned)")
+
     report = {
         "protocol": {"rates": rates, "repeats": repeats, "images": images,
                      "seed": seed, "model": "binary_lenet",
@@ -202,6 +247,15 @@ def main(argv=None) -> int:
             timings["engine_serial_float"] / timings["engine_serial_packed"],
             2),
         "payload_bytes": payload_bytes,
+        "prefix_plane": prefix_planes,
+        "input_cache": {
+            "batch_size": cache_batch_size,
+            "batches": n_batches,
+            "hits": cache_stats["hits"],
+            "misses": cache_stats["misses"],
+            "cache_hit_rate": round(cache_stats["hit_rate"], 4),
+            "bytes": cache_stats["bytes"],
+        },
         "journal": {
             "overhead_s": round(
                 timings["engine_serial_float_journaled"]

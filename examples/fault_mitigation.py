@@ -12,7 +12,7 @@ Run:  python examples/fault_mitigation.py
 
 import numpy as np
 
-from repro.core import (FaultGenerator, FaultInjector, FaultSpec,
+from repro.core import (CampaignEvaluator, FaultGenerator, FaultSpec,
                         majority_vote_predict, march_test,
                         masks_from_detection, remap_columns)
 from repro.core.detection import apply_column_permutation
@@ -26,8 +26,10 @@ def main():
     model = trained_lenet()
     _, test = get_mnist()
     test = test.subset(TEST_IMAGES)
-    baseline = model.evaluate(test.x, test.y)
-    print(f"fault-free accuracy: {baseline:.1%}\n")
+    # the campaign engine's evaluator scores arbitrary fixed fault plans
+    # while reusing the fault-free prefix work across all of them
+    evaluator = CampaignEvaluator(model, test.x, test.y)
+    print(f"fault-free accuracy: {evaluator.baseline():.1%}\n")
 
     # -- 1. detect faults on a physically simulated crossbar ----------------
     # dense1 has 10 output channels; a 40x16 crossbar leaves 6 spare
@@ -49,26 +51,19 @@ def main():
 
     # -- 2. assess the impact, then remap columns away from faults ---------
     masks = masks_from_detection(crossbar, detection)
-    injector = FaultInjector()
-    plan = {"dense1": masks}
-    with injector.injecting(model, plan):
-        damaged = model.evaluate(test.x, test.y)
+    damaged = evaluator.evaluate_plan({"dense1": masks})
     print(f"accuracy with faults on dense1's crossbar: {damaged:.1%}")
 
     perm = remap_columns(masks, filters=10)
     remapped_plan = {"dense1": apply_column_permutation(masks, perm)}
-    with injector.injecting(model, remapped_plan):
-        remapped = model.evaluate(test.x, test.y)
+    remapped = evaluator.evaluate_plan(remapped_plan)
     print(f"after column remapping (6 spare columns):  {remapped:.1%}")
 
     # -- 3. majority vote across independent crossbar banks ---------------
     spec = FaultSpec.stuck_at(0.08)
     plans = [FaultGenerator(spec, rows=40, cols=10, seed=s).generate(model)
              for s in (11, 22, 33)]
-    singles = []
-    for bank_plan in plans:
-        with injector.injecting(model, bank_plan):
-            singles.append(model.evaluate(test.x, test.y))
+    singles = [evaluator.evaluate_plan(bank_plan) for bank_plan in plans]
     voted = majority_vote_predict(model, test.x, plans)
     voted_accuracy = float((voted == test.y).mean())
     print(f"\nstuck-at 8% on three independent banks: "

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro import nn
 from repro.binary import QuantDense
-from repro.core import (FaultGenerator, FaultInjector, FaultSpec,
+from repro.core import (CampaignEvaluator, FaultGenerator, FaultSpec,
                         load_fault_vectors, save_fault_vectors)
 from repro.lim import CellArray, DeviceParams
 
@@ -62,8 +62,9 @@ def main():
         counts = masks.fault_counts()
         print(f"  {name}: {counts['bitflips']} flip cells "
               f"(period {masks.flip_period}), {counts['stuck']} stuck cells")
-    with FaultInjector().injecting(model, reloaded):
-        print(f"accuracy under reloaded fault plan: {model.evaluate(x, y):.1%}")
+    evaluator = CampaignEvaluator(model, x, y)  # the campaign-engine path
+    print(f"accuracy under reloaded fault plan: "
+          f"{evaluator.evaluate_plan(reloaded):.1%}")
 
     # the same plan can be re-saved bit-identically — it is pure data
     roundtrip = Path(tempfile.gettempdir()) / "demo_faults_2.flim"

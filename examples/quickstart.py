@@ -1,9 +1,11 @@
 """Quickstart: inject faults into a binary neural network in ~30 lines.
 
-Builds a small fully binarized model, trains it on a toy task, then uses
-the FLIM pipeline — FaultGenerator -> fault plan -> FaultInjector — to
-measure how bit-flip and stuck-at faults on the logic-in-memory crossbar
-degrade accuracy.
+Builds a small fully binarized model, trains it on a toy task, then runs
+a :class:`FaultCampaign` — the engine behind every figure in the paper —
+to measure how bit-flip and stuck-at faults on the logic-in-memory
+crossbar degrade accuracy.  The campaign handles the re-seeded
+repetitions, caches the fault-free work, and (with
+``executor="shared_memory"``) scales the same code to a worker pool.
 
 Run:  python examples/quickstart.py
 """
@@ -12,7 +14,7 @@ import numpy as np
 
 from repro import nn
 from repro.binary import QuantDense
-from repro.core import FaultGenerator, FaultInjector, FaultSpec
+from repro.core import FaultCampaign, FaultGenerator, FaultSpec
 
 
 def main():
@@ -35,23 +37,21 @@ def main():
     baseline = model.evaluate(x_test, y_test)
     print(f"fault-free accuracy: {baseline:.1%}")
 
-    # 2. the Fault Generator distributes faults over a 16x8 crossbar and
-    #    maps them onto every LIM-mapped layer of the model
-    injector = FaultInjector()
+    # 2. a campaign sweeps fault specs with fresh seeds per repetition —
+    #    the paper's protocol — on a 16x8 crossbar per mapped layer.
+    #    Under the hood it pre-generates every fault plan, wires the masks
+    #    into the layers' fault hooks per job, and reuses the fault-free
+    #    prefix/baseline work across all 10 repetitions.
+    campaign = FaultCampaign(model, x_test, y_test, rows=16, cols=8)
     for spec, label in [
         (FaultSpec.bitflip(0.10), "10% transient bit-flips"),
         (FaultSpec.bitflip(0.10, period=4), "10% dynamic flips (every 4th op)"),
         (FaultSpec.stuck_at(0.10), "10% stuck-at cells (permanent)"),
     ]:
-        accuracies = []
-        for seed in range(10):  # re-seed: faults land somewhere new each run
-            generator = FaultGenerator(spec, rows=16, cols=8, seed=seed)
-            plan = generator.generate(model)
-            # 3. the Fault Injector wires masks into the layers' fault hooks
-            with injector.injecting(model, plan):
-                accuracies.append(model.evaluate(x_test, y_test))
-        print(f"{label:36s} accuracy: {np.mean(accuracies):.1%} "
-              f"(± {np.std(accuracies):.1%})")
+        result = campaign.run(lambda _x, spec=spec: spec, xs=[spec.rate],
+                              repeats=10, label=label)
+        print(f"{label:36s} accuracy: {result.mean()[0]:.1%} "
+              f"(± {result.std()[0]:.1%})")
 
     # 4. the mapping report: ops per crossbar, reuse factors
     generator = FaultGenerator(FaultSpec.bitflip(0.1), rows=16, cols=8)

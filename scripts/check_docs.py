@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Snippet-runner and link-checker for README.md and docs/.
+
+Keeps the documentation honest:
+
+* every fenced ``python`` code block must at least *compile*;
+* blocks annotated with ``<!-- check-docs: run -->`` on the line above
+  the fence are **executed** (in a fresh namespace, with ``src/`` on the
+  path and a temporary working directory) — the architecture/fault-model
+  walkthroughs are living tests;
+* every relative markdown link ``[text](path)`` must resolve to a file
+  or directory in the repository (fragments and ``http(s)``/``mailto``
+  links are skipped).
+
+Exit status is non-zero on any failure, so CI can gate on it::
+
+    python scripts/check_docs.py            # checks README.md + docs/*.md
+    python scripts/check_docs.py FILE.md... # or an explicit file list
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+import traceback
+from contextlib import chdir
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RUN_MARKER = "<!-- check-docs: run -->"
+
+#: ``[text](target)`` — excluding images is unnecessary (same resolution)
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_code_blocks(text: str):
+    """Yield ``(start_line, language, marked_run, source)`` per fence."""
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = _FENCE.match(lines[index])
+        if match and match.group(1):
+            language = match.group(1)
+            marked = index > 0 and lines[index - 1].strip() == RUN_MARKER
+            body: list[str] = []
+            start = index + 1
+            index += 1
+            while index < len(lines) and lines[index].strip() != "```":
+                body.append(lines[index])
+                index += 1
+            yield start, language, marked, "\n".join(body) + "\n"
+        index += 1
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for target in _LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def check_python_blocks(path: Path, text: str) -> list[str]:
+    errors = []
+    for start, language, marked, source in iter_code_blocks(text):
+        if language != "python":
+            continue
+        label = f"{path}:{start}"
+        try:
+            code = compile(source, f"{label} (doc snippet)", "exec")
+        except SyntaxError:
+            errors.append(f"{label}: snippet does not compile\n"
+                          + traceback.format_exc(limit=0))
+            continue
+        if not marked:
+            continue
+        # run-marked snippets execute in a scratch directory so any files
+        # they create (journals, vectors) never litter the repository
+        namespace = {"__name__": "__check_docs__"}
+        try:
+            with tempfile.TemporaryDirectory() as scratch, chdir(scratch):
+                exec(code, namespace)
+        except Exception:
+            errors.append(f"{label}: snippet raised\n"
+                          + traceback.format_exc(limit=3))
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    sys.path.insert(0, str(REPO / "src"))
+    errors: list[str] = []
+    checked_blocks = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        errors.extend(check_links(path, text))
+        errors.extend(check_python_blocks(path, text))
+        checked_blocks += sum(1 for _, language, _, _ in
+                              iter_code_blocks(text)
+                              if language == "python")
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    print(f"checked {len(files)} files, {checked_blocks} python blocks: "
+          + ("OK" if not errors else f"{len(errors)} problem(s)"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,9 +34,23 @@ _BLOCK_WORDS = 1 << 21  # ~16 MiB of uint64 XOR temporary per GEMM block
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack a uint8 {0,1} array along its last axis into uint64 words.
 
-    Bit ``k`` of the packed stream is element ``k`` of the input (pad bits
-    are 0).  Uses ``np.packbits`` + a little-endian uint64 view, which is
-    an order of magnitude faster than the shift-and-sum formulation.
+    Parameters
+    ----------
+    bits : ndarray, uint8
+        Shape ``(..., length)`` with values in {0, 1}.
+
+    Returns
+    -------
+    ndarray, uint64
+        Shape ``(..., ceil(length / 64))``.  Bit ``k`` of the packed
+        stream is element ``k`` of the input; pad bits are 0.
+
+    Notes
+    -----
+    Uses ``np.packbits`` + a little-endian uint64 view, which is an order
+    of magnitude faster than the shift-and-sum formulation.  Deterministic
+    bit layout: equal inputs pack to equal words on every platform numpy
+    supports (the view is explicitly ``<u8``).
     """
     length = bits.shape[-1]
     pad = (-length) % _WORD
@@ -51,9 +65,24 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
 def pack_bipolar(x: np.ndarray) -> tuple[np.ndarray, int]:
     """Pack a bipolar {-1,+1} array along its last axis into uint64 words.
 
-    Returns ``(packed, original_length)``.  +1 maps to bit 1, -1 to bit 0;
-    trailing pad bits are 0 and cancelled out by the caller using the
-    original length.
+    Parameters
+    ----------
+    x : ndarray
+        Shape ``(..., length)`` with values in {-1, +1} (any real dtype).
+
+    Returns
+    -------
+    (ndarray, int)
+        ``(packed, length)``: uint64 words of shape
+        ``(..., ceil(length / 64))`` and the unpadded reduction length.
+        +1 maps to bit 1, -1 to bit 0; trailing pad bits are 0 and are
+        cancelled out by the caller using ``length``.
+
+    Raises
+    ------
+    ValueError
+        If any element is not exactly ±1 (the packed domain cannot encode
+        zeros or scaled values).
     """
     if not np.all(np.abs(x) == 1):
         raise ValueError("pack_bipolar expects values in {-1, +1}")
@@ -83,10 +112,20 @@ def unpack_bipolar(packed: np.ndarray, length: int) -> np.ndarray:
 def xnor_accumulate(a_packed: np.ndarray, b_packed: np.ndarray, length: int) -> np.ndarray:
     """Sum of elementwise XNOR products of two packed bipolar vectors.
 
-    Equivalent to ``(a * b).sum(-1)`` for the unpacked ±1 vectors: each
-    matching bit contributes +1, each mismatch -1, so the sum equals
-    ``length - 2 * popcount(a ^ b)`` once pad bits (equal in both) are
-    discounted.
+    Parameters
+    ----------
+    a_packed, b_packed : ndarray, uint64
+        Broadcast-compatible packed operands (last axis = words).
+    length : int
+        Unpadded reduction length K.
+
+    Returns
+    -------
+    ndarray, int64
+        ``(a * b).sum(-1)`` of the unpacked ±1 vectors: each matching bit
+        contributes +1, each mismatch -1, so the sum equals
+        ``length - 2 * popcount(a ^ b)`` once pad bits (equal in both)
+        are discounted.  Exact integer arithmetic — no rounding, ever.
     """
     xor = np.bitwise_xor(a_packed, b_packed)
     mismatches = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
@@ -97,10 +136,27 @@ def packed_matmul_words(a_words: np.ndarray, b_words: np.ndarray,
                         length: int) -> np.ndarray:
     """Binary GEMM on pre-packed operands: ``(m, w) x (n, w) -> (m, n)``.
 
-    ``a_words`` holds ``m`` packed rows, ``b_words`` ``n`` packed rows (the
-    *transposed* right operand), both ``w = ceil(length/64)`` words wide.
-    Row blocks bound the XOR temporary to ~``_BLOCK_WORDS`` words so large
-    im2col matrices do not blow up memory.
+    Parameters
+    ----------
+    a_words : ndarray, uint64
+        ``m`` packed rows, ``w = ceil(length / 64)`` words wide.
+    b_words : ndarray, uint64
+        ``n`` packed rows of the *transposed* right operand, same width.
+    length : int
+        Unpadded reduction length K (cancels the shared pad bits).
+
+    Returns
+    -------
+    ndarray, int64
+        Shape ``(m, n)``; bit-identical to the float32 GEMM of the
+        unpacked ±1 matrices (every partial sum is a small integer).
+
+    Notes
+    -----
+    Row blocks bound the XOR temporary to ~``_BLOCK_WORDS`` words so
+    large im2col matrices do not blow up memory; the block walk is a pure
+    reassociation of integer additions, so results do not depend on the
+    block size.
     """
     m = a_words.shape[0]
     n = b_words.shape[0]

@@ -110,7 +110,10 @@ def _cmd_sweep(args) -> int:
                              rows=args.rows, cols=args.cols,
                              executor=executor,
                              n_jobs=args.jobs or None,
-                             backend=args.backend)
+                             backend=args.backend,
+                             cache_bytes=(args.cache_cap * 2 ** 20
+                                          if args.cache_cap is not None
+                                          else None))
     spec_factory = (FaultSpec.bitflip if args.fault == "bitflip"
                     else FaultSpec.stuck_at)
     progress = None
@@ -221,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["float", "packed"],
                          help="inference backend: float GEMM or packed "
                               "uint64 XNOR/popcount (bit-identical)")
+    p_sweep.add_argument("--cache-cap", type=int, default=None,
+                         metavar="MiB",
+                         help="byte cap (in MiB), per quantized layer, "
+                              "for the campaign's derived "
+                              "input-representation cache (im2col / "
+                              "packed words); default 256")
     p_sweep.add_argument("--journal", default=None, metavar="PATH",
                          help="stream completed cells into a JSONL journal; "
                               "an interrupted sweep rerun with the same "

@@ -11,8 +11,9 @@ from .campaign import FaultCampaign, SweepResult
 from .detection import (majority_vote_predict, march_test,
                         masks_from_detection, remap_columns)
 from .engine import (CampaignEvaluator, CampaignJob, MultiprocessingExecutor,
-                     SerialExecutor, SharedMemoryExecutor, build_jobs,
-                     get_executor, plan_has_faults)
+                     SerialExecutor, SharedMemoryExecutor,
+                     SharedPlaneRegistry, build_jobs, get_executor,
+                     plan_has_faults)
 from .faults import FaultSpec, FaultType, Semantics, StuckPolarity
 from .generator import FaultGenerator, FaultPlan, mapped_layers
 from .injector import FaultInjector
@@ -31,7 +32,8 @@ __all__ = [
     "FaultInjector",
     "FaultCampaign", "SweepResult",
     "CampaignJob", "CampaignEvaluator", "SerialExecutor",
-    "MultiprocessingExecutor", "SharedMemoryExecutor", "CampaignJournal",
+    "MultiprocessingExecutor", "SharedMemoryExecutor",
+    "SharedPlaneRegistry", "CampaignJournal",
     "build_jobs", "get_executor", "plan_has_faults",
     "save_fault_vectors", "load_fault_vectors",
     "march_test", "masks_from_detection", "remap_columns",

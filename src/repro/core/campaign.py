@@ -22,14 +22,14 @@ it died and reproduces the uninterrupted result exactly
 
 from __future__ import annotations
 
-import hashlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..nn.model import Sequential
-from .engine import CampaignEvaluator, build_jobs, get_executor
+from .engine import (CampaignEvaluator, build_jobs,
+                     fingerprint_data_and_weights, get_executor)
 from .faults import FaultSpec
 from .journal import CampaignJournal
 
@@ -109,13 +109,22 @@ class FaultCampaign:
         ``os.cpu_count()`` (or the ``REPRO_N_JOBS`` environment variable).
     backend:
         ``"float"`` or ``"packed"`` — see :mod:`repro.binary.layers`.
+    cache_bytes:
+        Byte cap, per quantized layer, for this campaign's share of the
+        derived input-representation caches (im2col / packed words);
+        ``None`` selects
+        :data:`repro.core.engine.DEFAULT_INPUT_CACHE_BYTES` (256 MiB).
+        In practice only the prefix-split layer sees cacheable inputs,
+        so this is the effective campaign footprint.  The cache is sized
+        to the campaign's batch count and keyed per evaluator, so
+        concurrent campaigns on one model never thrash each other.
     """
 
     def __init__(self, model: Sequential, x_test: np.ndarray, y_test: np.ndarray,
                  rows: int = 40, cols: int = 10, batch_size: int = 256,
                  continue_time_across_layers: bool = True,
                  executor: str | object = "serial", n_jobs: int | None = None,
-                 backend: str = "float"):
+                 backend: str = "float", cache_bytes: int | None = None):
         self.model = model
         self.rows = rows
         self.cols = cols
@@ -126,12 +135,36 @@ class FaultCampaign:
         self._evaluator = CampaignEvaluator(
             model, x_test, y_test, batch_size=batch_size,
             continue_time_across_layers=continue_time_across_layers,
-            backend=backend)
+            backend=backend, cache_bytes=cache_bytes)
         # aliases of the evaluator's snapshot — everything the campaign
         # evaluates, fingerprints, or ships to workers is this data, not
         # whatever the caller's arrays hold later
         self.x_test = self._evaluator.x_test
         self.y_test = self._evaluator.y_test
+
+    def __enter__(self) -> "FaultCampaign":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release everything this campaign holds: shared-memory planes
+        published by its executor (unlinked from ``/dev/shm``) and its
+        *own* memoized state — other campaigns sharing the model keep
+        their cache entries (see
+        :meth:`CampaignEvaluator.release_owned`).  Idempotent; also
+        usable as a context manager (``with FaultCampaign(...)``).
+        """
+        release = getattr(self._executor, "release_planes", None)
+        if release is not None:
+            release()
+        self._evaluator.release_owned()
+
+    def input_cache_stats(self) -> dict:
+        """Hit/miss statistics of this campaign's input-representation
+        cache traffic (see :meth:`CampaignEvaluator.input_cache_stats`)."""
+        return self._evaluator.input_cache_stats()
 
     def baseline_accuracy(self) -> float:
         """Fault-free accuracy (FLIM with no faults == vanilla).
@@ -156,17 +189,42 @@ class FaultCampaign:
             ) -> SweepResult:
         """Sweep ``xs`` through ``spec_factory``, re-seeding per repetition.
 
-        ``spec_factory(x)`` builds the fault spec(s) for sweep value ``x``
-        (e.g. ``lambda rate: FaultSpec.bitflip(rate)``).  ``layers``
-        restricts injection to named mapped layers (the paper's per-layer
-        resilience study); ``None`` injects into all mapped layers (the
-        "combined" curve).
+        Parameters
+        ----------
+        spec_factory : callable
+            ``spec_factory(x)`` builds the fault spec(s) for sweep value
+            ``x`` (e.g. ``lambda rate: FaultSpec.bitflip(rate)``).
+        xs : sequence of float
+            Sweep points (injection rates, periods, line counts, ...).
+        repeats : int
+            Repetitions per point, each with a fresh seed (the paper runs
+            100).
+        seed : int
+            Base seed.  Each cell's plan seed is the pure function
+            ``seed + 7919*repeat + 104729*point`` of its grid coordinates,
+            so results are bit-identical across executors, backends,
+            scheduling orders, and resumed runs.
+        layers : list of str, optional
+            Restrict injection to these mapped layers (the paper's
+            per-layer resilience study); ``None`` injects into all mapped
+            layers (the "combined" curve).
+        label : str
+            Stored on the returned :class:`SweepResult`.
+        journal : path-like, optional
+            JSONL file receiving every completed cell as it streams out
+            of the executor; cells already recorded there (from an
+            interrupted earlier run of the *same* grid — validated via
+            header + data/weights fingerprint) are skipped.
+        progress : callable, optional
+            ``progress(done, total, (point, repeat, accuracy))`` called
+            after each freshly evaluated cell.
 
-        ``journal`` names a JSONL file that receives every completed cell
-        as it streams out of the executor; cells already recorded there
-        (from an interrupted earlier run of the *same* grid) are skipped.
-        ``progress(done, total, (point, repeat, accuracy))`` is called
-        after each freshly evaluated cell.
+        Returns
+        -------
+        SweepResult
+            ``accuracies`` is float64 of shape ``(len(xs), repeats)``;
+            ``meta`` records executor/backend, journal bookkeeping,
+            prefix-plane metrics, and input-cache statistics.
         """
         xs = list(xs)
         total = len(xs) * repeats
@@ -210,7 +268,11 @@ class FaultCampaign:
                 "repeats": repeats, "layers": layers,
                 "executor": getattr(self._executor, "name",
                                     type(self._executor).__name__),
-                "backend": self.backend}
+                "backend": self.backend,
+                "input_cache": self._evaluator.input_cache_stats()}
+        prefix_plane = getattr(self._executor, "prefix_plane", None)
+        if prefix_plane is not None:
+            meta["prefix_plane"] = prefix_plane
         if journal is not None:
             meta["journal"] = str(journal)
             meta["resumed_cells"] = resumed
@@ -218,20 +280,19 @@ class FaultCampaign:
                            baseline=self.baseline_accuracy(), meta=meta)
 
     def _fingerprint(self) -> str:
-        """Digest of the evaluator's data snapshot and the model weights.
+        """Digest of the evaluator's data snapshot and the model weights
+        (shared helper: :func:`repro.core.engine.
+        fingerprint_data_and_weights`).
 
         Journals store it so a resume against a different test set, a
         retrained model, or different injection timing is refused instead
         of silently mixing incompatible accuracies into one result.
+        (Journals written before the digest gained the dtype field are
+        refused on resume, never silently mixed.)
         """
-        digest = hashlib.sha1()
-        for array in (self._evaluator.x_test, self._evaluator.y_test):
-            digest.update(str(array.shape).encode())
-            digest.update(np.ascontiguousarray(array).tobytes())
-        for key, value in sorted(self.model.state_dict().items()):
-            digest.update(key.encode())
-            digest.update(np.ascontiguousarray(value).tobytes())
-        return digest.hexdigest()
+        return fingerprint_data_and_weights(
+            self._evaluator.x_test, self._evaluator.y_test,
+            self.model).hexdigest()
 
     def _iter_results(self, jobs):
         """Stream results from the executor as cells complete (falling

@@ -62,10 +62,17 @@ Executors
     evaluator in its initializer and reuses it for every job it is
     handed.  The test set is pickled into each worker once.
 ``shared_memory``
-    Same pool, but the test set lives in
-    :mod:`multiprocessing.shared_memory` blocks that workers attach
+    Same pool, but the test set **and the parent's cached fault-free
+    prefix activation batches** (plus the first suffix layer's derived
+    im2col/packed input representations) live in
+    :mod:`multiprocessing.shared_memory` planes that workers attach
     **zero-copy** — the per-worker payload shrinks to the model plus a
-    few block descriptors, independent of dataset size.
+    few block descriptors, independent of dataset size, and no worker
+    recomputes the prefix.  Planes are managed by a
+    :class:`SharedPlaneRegistry`: fingerprinted against data + weights
+    (stale planes are refused like mismatched journals), cached across
+    ``run`` calls of one campaign, and unlinked on failure, on
+    :meth:`FaultCampaign.close`, or at interpreter exit.
 
 Both pool executors *stream* results back (``imap_unordered``) through
 :meth:`run_iter`, so callers can journal/report progress as cells finish,
@@ -84,9 +91,11 @@ reduction keeps the accuracy bit-identical to the unsharded division.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import pickle
+import weakref
 from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -104,13 +113,43 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessingExecutor",
     "SharedMemoryExecutor",
+    "SharedPlaneRegistry",
     "build_jobs",
     "get_executor",
     "plan_has_faults",
 ]
 
+#: default byte cap for one evaluator's derived-input-representation
+#: cache *per quantized layer* (overridable per campaign:
+#: ``FaultCampaign(cache_bytes=...)`` or the CLI ``--cache-cap``).  In
+#: practice only the prefix-split layer ever sees cacheable (read-only)
+#: inputs, so the per-layer cap is the effective campaign footprint.
+DEFAULT_INPUT_CACHE_BYTES = 256 << 20
+
 #: job result: (point index, repeat index, accuracy)
 JobResult = tuple[int, int, float]
+
+
+def fingerprint_data_and_weights(x_test: np.ndarray, y_test: np.ndarray,
+                                 model: Sequential) -> "hashlib._Hash":
+    """SHA-1 digest of a test-set snapshot + model weights.
+
+    The single source of truth for both staleness guards — journal
+    resume (:meth:`FaultCampaign._fingerprint`) and shared-memory plane
+    attachment (:meth:`CampaignEvaluator.plane_fingerprint`) — so the
+    two checks can never drift apart in what they cover.  Returns the
+    open hash object; callers append their context-specific fields
+    (grid geometry, backend, timing) before ``hexdigest()``.
+    """
+    digest = hashlib.sha1()
+    for array in (x_test, y_test):
+        digest.update(str(array.shape).encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+    for key, value in sorted(model.state_dict().items()):
+        digest.update(key.encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    return digest
 
 
 @dataclass(frozen=True)
@@ -181,13 +220,18 @@ class CampaignEvaluator:
     def __init__(self, model: Sequential, x_test: np.ndarray,
                  y_test: np.ndarray, batch_size: int = 256,
                  continue_time_across_layers: bool = True,
-                 backend: str = "float", copy_data: bool = True):
+                 backend: str = "float", copy_data: bool = True,
+                 cache_bytes: int | None = None):
         if backend not in ("float", "packed"):
             raise ValueError(f"unknown execution backend {backend!r}; "
                              "use 'float' or 'packed'")
         self.model = model
         self.batch_size = batch_size
         self.backend = backend
+        #: per-layer byte cap for this evaluator's share of the derived
+        #: input-representation caches (see repro.binary.layers)
+        self.cache_bytes = (DEFAULT_INPUT_CACHE_BYTES if cache_bytes is None
+                            else cache_bytes)
         self.x_test = np.array(x_test) if copy_data else x_test.view()
         self.x_test.flags.writeable = False
         self.y_test = np.array(y_test) if copy_data else y_test.view()
@@ -198,6 +242,13 @@ class CampaignEvaluator:
         self._suffix_batches: dict[tuple[int, int, int],
                                    list[tuple[np.ndarray, np.ndarray]]] = {}
         self._weights_version = getattr(model, "weights_version", None)
+        #: budget/statistics token identifying this evaluator in the
+        #: layers' input caches without keeping it alive
+        self._cache_token = weakref.ref(self)
+        self._plane_fingerprint: str | None = None
+        #: how many times a prefix was evaluated from ``x_test`` from
+        #: scratch (0 on workers that adopted published prefix planes)
+        self.prefix_computations = 0
 
     def _check_weights_version(self) -> None:
         """Drop caches when the model's parameters changed in place."""
@@ -208,10 +259,29 @@ class CampaignEvaluator:
 
     def clear_caches(self) -> None:
         """Release every memoized evaluation artifact: the baseline, the
-        prefix activation batches, and the layers' input/kernel caches."""
+        prefix activation batches, and the layers' input/kernel caches.
+
+        This is the aggressive, whole-model wipe (other evaluators
+        sharing the model lose their cache entries too); use
+        :meth:`release_owned` to drop only this evaluator's share.
+        """
         self._baseline = None
         self._suffix_batches.clear()
+        self._plane_fingerprint = None
         _strip_transient_state(self.model)
+
+    def release_owned(self) -> None:
+        """Drop this evaluator's own memoized state — the baseline, the
+        prefix activation batches, and *its* entries/budget in the
+        layers' input caches — without touching other evaluators' cached
+        representations or the layers' kernel caches."""
+        self._baseline = None
+        self._suffix_batches.clear()
+        self._plane_fingerprint = None
+        for layer in self.model.all_layers():
+            cache = getattr(layer, "_input_cache", None)
+            if hasattr(cache, "drop_owner"):
+                cache.drop_owner(self._cache_token)
 
     @contextmanager
     def _backend_scope(self):
@@ -230,6 +300,73 @@ class CampaignEvaluator:
         finally:
             for layer, saved in previous:
                 layer.execution_backend = saved
+
+    @contextmanager
+    def _evaluation_scope(self):
+        """Backend + cache-ownership scope for one evaluation.
+
+        Besides selecting the execution backend, the scope registers this
+        evaluator as the budget owner of every layer's input cache, sized
+        to the campaign: enough slots for all test batches (instead of the
+        ad-hoc 8-slot default) under the ``cache_bytes`` cap.  Ownership
+        is restored afterwards, so interleaved campaigns on one model
+        charge their own budgets and never evict each other's entries.
+        """
+        n_batches = math.ceil(len(self.x_test) / self.batch_size)
+        owned: list[tuple] = []
+        for layer in self.model.all_layers():
+            cache = getattr(layer, "_input_cache", None)
+            if hasattr(cache, "configure"):
+                cache.configure(self._cache_token,
+                                slots=max(8, 2 * n_batches),
+                                max_bytes=self.cache_bytes)
+                owned.append((layer, layer._cache_owner))
+                layer._cache_owner = self._cache_token
+        try:
+            with self._backend_scope():
+                yield
+        finally:
+            for layer, saved in owned:
+                layer._cache_owner = saved
+
+    def input_cache_stats(self) -> dict:
+        """Aggregate hit/miss statistics of this evaluator's share of the
+        layers' input-representation caches.
+
+        Returns
+        -------
+        dict
+            ``{"hits", "misses", "entries", "bytes", "hit_rate"}`` summed
+            over all layers; ``hit_rate`` is ``hits / (hits + misses)``
+            (0.0 before any lookup).  Only lookups charged to this
+            evaluator are counted — concurrent campaigns on the same
+            model report independent statistics.
+        """
+        totals = {"hits": 0, "misses": 0, "entries": 0, "bytes": 0}
+        for layer in self.model.all_layers():
+            cache = getattr(layer, "_input_cache", None)
+            if hasattr(cache, "stats"):
+                for key, value in cache.stats(self._cache_token).items():
+                    if key in totals:
+                        totals[key] += value
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        return totals
+
+    def plane_fingerprint(self) -> str:
+        """Digest identifying the activation planes this evaluator would
+        publish: test-set snapshot, model weights, batch geometry, backend
+        and injection timing.  Attaching a plane published under any other
+        fingerprint is refused (like resuming a mismatched journal)."""
+        self._check_weights_version()
+        if self._plane_fingerprint is None:
+            digest = fingerprint_data_and_weights(self.x_test, self.y_test,
+                                                  self.model)
+            digest.update(f"{self.batch_size}|{self.backend}|"
+                          f"{self.injector.continue_time_across_layers}"
+                          .encode())
+            self._plane_fingerprint = digest.hexdigest()
+        return self._plane_fingerprint
 
     # -- prefix/suffix splitting ----------------------------------------
     def _split_for(self, layer_names) -> int:
@@ -261,13 +398,48 @@ class CampaignEvaluator:
         sharding — a shard takes every ``n_shards``-th *global* batch — so
         suffix evaluation is arithmetic-for-arithmetic the full forward
         pass and shard counts sum to the unsharded counts exactly.
+
+        Cached splits are reused hierarchically before anything runs from
+        scratch: a shard view slices the full split's batch list, and a
+        deeper split continues forward from the deepest cached shallower
+        split (e.g. from adopted shared-memory prefix planes) — both are
+        the same per-batch arithmetic, so results stay bit-identical.
         """
         key = (split, shard, n_shards)
         cached = self._suffix_batches.get(key)
         if cached is not None:
             return cached
-        prefix = self.model.layers[:split]
+        full = self._suffix_batches.get((split, 0, 1))
+        if full is not None:
+            # a shard is every n_shards-th global batch of the full list
+            batches = full[shard::n_shards]
+        else:
+            batches = self._compute_batches(split, shard, n_shards)
+        self._suffix_batches[key] = batches
+        return batches
+
+    def _compute_batches(self, split: int, shard: int, n_shards: int
+                         ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Evaluate prefix activations, continuing from the deepest cached
+        shallower split when one exists (else from ``x_test``)."""
+        base_split, base = -1, None
+        for (s, sh, n), value in self._suffix_batches.items():
+            if sh == 0 and n == 1 and base_split < s < split:
+                base_split, base = s, value
         batches: list[tuple[np.ndarray, np.ndarray]] = []
+        if base is not None:
+            layers = self.model.layers[base_split:split]
+            for index, (z, labels) in enumerate(base):
+                if index % n_shards != shard:
+                    continue
+                for layer in layers:
+                    z = layer.forward(z, training=False)
+                z = np.ascontiguousarray(z)
+                z.flags.writeable = False
+                batches.append((z, labels))
+            return batches
+        self.prefix_computations += 1
+        prefix = self.model.layers[:split]
         n = len(self.x_test)
         for index, start in enumerate(range(0, n, self.batch_size)):
             if index % n_shards != shard:
@@ -278,8 +450,49 @@ class CampaignEvaluator:
             z = np.ascontiguousarray(z)
             z.flags.writeable = False
             batches.append((z, self.y_test[start:start + self.batch_size]))
-        self._suffix_batches[key] = batches
         return batches
+
+    def adopt_prefix(self, split: int,
+                     batches: list[tuple[np.ndarray, np.ndarray]],
+                     reps: list[tuple[str, object]] | None = None) -> None:
+        """Install externally computed fault-free prefix activations.
+
+        Pool workers call this with activation batches attached from the
+        parent's shared-memory planes, eliminating the once-per-worker
+        prefix recomputation.
+
+        Parameters
+        ----------
+        split : int
+            Top-level layer index the activations were computed up to
+            (the publisher's :meth:`_baseline_split`).
+        batches : list of (ndarray, ndarray)
+            One ``(activations, labels)`` pair per *global* test batch,
+            in batch order; the activation arrays must be read-only.
+        reps : list of (str, object), optional
+            The derived input representation (``"cols"`` im2col matrix or
+            ``"packed"`` uint64 words) of each batch for
+            ``model.layers[split]``, pre-seeding that layer's input cache
+            so even the one-time im2col/packing cost is shared.
+
+        The caller is responsible for the batches matching this
+        evaluator's data and weights — plane publishers enforce that with
+        the :meth:`plane_fingerprint` check at attach time.
+        """
+        self._check_weights_version()
+        batches = list(batches)
+        self._suffix_batches[(split, 0, 1)] = batches
+        if not reps or split >= len(self.model.layers):
+            return
+        layer = self.model.layers[split]
+        cache = getattr(layer, "_input_cache", None)
+        if not hasattr(cache, "configure"):
+            return
+        n_batches = math.ceil(len(self.x_test) / self.batch_size)
+        cache.configure(self._cache_token, slots=max(8, 2 * n_batches),
+                        max_bytes=self.cache_bytes)
+        for (z, _), (tag, value) in zip(batches, reps):
+            cache.put(tag, z, value, owner=self._cache_token)
 
     def _suffix_counts(self, split: int, shard: int = 0, n_shards: int = 1
                        ) -> tuple[int, int]:
@@ -304,7 +517,7 @@ class CampaignEvaluator:
         if the model's weights change in place)."""
         self._check_weights_version()
         if self._baseline is None:
-            with self._backend_scope():
+            with self._evaluation_scope():
                 self._baseline = self._evaluate_suffix(self._baseline_split())
         return self._baseline
 
@@ -316,7 +529,8 @@ class CampaignEvaluator:
             return self.baseline()
         self._check_weights_version()
         split = self._split_for(plan.keys())
-        with self._backend_scope(), self.injector.injecting(self.model, plan):
+        with self._evaluation_scope(), \
+                self.injector.injecting(self.model, plan):
             return self._evaluate_suffix(split)
 
     def evaluate_plan_counts(self, plan: FaultPlan, shard: int = 0,
@@ -331,15 +545,136 @@ class CampaignEvaluator:
         """
         self._check_weights_version()
         if not plan_has_faults(plan):
-            with self._backend_scope():
+            with self._evaluation_scope():
                 return self._suffix_counts(self._baseline_split(),
                                            shard, n_shards)
         split = self._split_for(plan.keys())
-        with self._backend_scope(), self.injector.injecting(self.model, plan):
+        with self._evaluation_scope(), \
+                self.injector.injecting(self.model, plan):
             return self._suffix_counts(split, shard, n_shards)
 
     def run_job(self, job: CampaignJob) -> JobResult:
         return job.point_index, job.repeat_index, self.evaluate_plan(job.plan)
+
+
+# -- shared-memory planes --------------------------------------------------
+
+def _release_shared_blocks(blocks: list) -> None:
+    """Close + unlink every owned block (idempotent; finalizer-safe)."""
+    while blocks:
+        shm = blocks.pop()
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SharedPlaneRegistry:
+    """Lifecycle manager for shared-memory *planes* — read-only ndarrays
+    published once by a campaign parent and attached zero-copy by workers.
+
+    Parent side: :meth:`publish` copies an array into a freshly created
+    :class:`multiprocessing.shared_memory.SharedMemory` block and returns
+    a picklable descriptor.  Planes stay alive across ``run`` calls of the
+    same campaign (campaign-aware caching) until :meth:`release` — which a
+    ``weakref`` finalizer also invokes at garbage collection or
+    interpreter exit, so interrupted campaigns never leak ``psm_*``
+    blocks.
+
+    Worker side: :meth:`attach` maps a descriptor zero-copy after checking
+    its fingerprint against the registry's expected one.  A plane
+    published for different data/weights (a stale registry, a recycled
+    descriptor) is refused with :class:`ValueError`, exactly like resuming
+    a mismatched journal.
+    """
+
+    def __init__(self, fingerprint: str = ""):
+        self.fingerprint = fingerprint
+        self._owned: list = []      # blocks this registry created
+        self._attached: list = []   # blocks this registry merely mapped
+        self._finalizer = weakref.finalize(self, _release_shared_blocks,
+                                           self._owned)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the published (owned) blocks."""
+        return sum(shm.size for shm in self._owned)
+
+    @property
+    def plane_count(self) -> int:
+        return len(self._owned)
+
+    def publish(self, array: np.ndarray, label: str = "") -> dict:
+        """Copy ``array`` into a new shared-memory block.
+
+        Returns
+        -------
+        dict
+            Picklable descriptor (``name``, ``shape``, ``dtype``,
+            ``fingerprint``, ``label``) for :meth:`attach`.
+        """
+        array = np.ascontiguousarray(array)
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=max(1, array.nbytes))
+        self._owned.append(shm)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return {"name": shm.name, "shape": tuple(array.shape),
+                "dtype": str(array.dtype), "fingerprint": self.fingerprint,
+                "label": label}
+
+    def attach(self, descriptor: dict) -> np.ndarray:
+        """Attach one published plane zero-copy as a read-only array.
+
+        Raises
+        ------
+        ValueError
+            If the descriptor's fingerprint does not match this
+            registry's — the plane belongs to different data/weights.
+        """
+        if descriptor.get("fingerprint") != self.fingerprint:
+            raise ValueError(
+                f"stale shared-memory plane {descriptor.get('label') or descriptor.get('name')!r}: "
+                f"published for fingerprint {descriptor.get('fingerprint')!r}"
+                f" but {self.fingerprint!r} expected; refusing to attach")
+        from multiprocessing import shared_memory
+
+        # NOTE: CPython < 3.13 registers attachments with the (fork-shared)
+        # resource tracker as if this process owned the block (bpo-39959).
+        # That is harmless here — registrations deduplicate and the parent
+        # unregisters on unlink — and unregistering per worker would race
+        # the parent into a double-unregister.
+        shm = shared_memory.SharedMemory(name=descriptor["name"])
+        self._attached.append(shm)
+        array = np.ndarray(tuple(descriptor["shape"]),
+                           dtype=np.dtype(descriptor["dtype"]),
+                           buffer=shm.buf)
+        array.flags.writeable = False
+        return array
+
+    def discard(self, descriptor: dict) -> None:
+        """Unlink one published plane early (e.g. a partially built set
+        that will never be shipped).  Unknown names are ignored."""
+        for shm in list(self._owned):
+            if shm.name == descriptor.get("name"):
+                self._owned.remove(shm)
+                _release_shared_blocks([shm])
+                return
+
+    def release(self) -> None:
+        """Close every mapping and unlink the owned blocks (idempotent)."""
+        for shm in self._attached:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._attached.clear()
+        _release_shared_blocks(self._owned)
 
 
 # -- executors ------------------------------------------------------------
@@ -351,10 +686,14 @@ class SerialExecutor:
 
     def run(self, jobs: Sequence[CampaignJob],
             evaluator: CampaignEvaluator) -> list[JobResult]:
+        """All ``(point, repeat, accuracy)`` results, in job order."""
         return list(self.run_iter(jobs, evaluator))
 
     def run_iter(self, jobs: Sequence[CampaignJob],
                  evaluator: CampaignEvaluator) -> Iterator[JobResult]:
+        """Stream ``(point, repeat, accuracy)`` per job as it completes,
+        in job order (pre-generated plans make order irrelevant to the
+        values — only to the streaming sequence)."""
         for job in jobs:
             yield evaluator.run_job(job)
 
@@ -375,34 +714,56 @@ def _init_worker(payload: dict) -> None:
         copy_data=False)  # the pickled arrays are already process-private
 
 
-def _attach_shared_array(descriptor: dict) -> np.ndarray:
-    """Attach one shared-memory block zero-copy as a read-only array."""
-    from multiprocessing import shared_memory
-
-    # NOTE: CPython < 3.13 registers attachments with the (fork-shared)
-    # resource tracker as if this worker owned the block (bpo-39959).
-    # That is harmless here — registrations deduplicate and the parent
-    # unregisters on unlink — and unregistering per worker would race the
-    # parent into a double-unregister.
-    shm = shared_memory.SharedMemory(name=descriptor["name"])
-    array = np.ndarray(tuple(descriptor["shape"]),
-                       dtype=np.dtype(descriptor["dtype"]), buffer=shm.buf)
-    array.flags.writeable = False
-    _WORKER_SHM.append(shm)  # keep the mapping alive for the worker's life
-    return array
+def _attach_rep(registry: SharedPlaneRegistry, descriptor: dict
+                ) -> tuple[str, object]:
+    """Rebuild one published input representation from its plane."""
+    array = registry.attach(descriptor["array"])
+    if descriptor["extra"] is None:
+        return descriptor["tag"], array
+    return descriptor["tag"], (array, tuple(descriptor["extra"]))
 
 
 def _init_worker_shm(payload: dict) -> None:
-    """Pool initializer for the shared-memory executor: attach, don't copy."""
+    """Pool initializer for the shared-memory executor: attach, don't copy.
+
+    Besides the test set, the worker attaches the parent's published
+    fault-free prefix activation planes (and, when available, the derived
+    im2col/packed input representations) and installs them via
+    :meth:`CampaignEvaluator.adopt_prefix` — the worker never recomputes
+    the prefix.  Every attach verifies the plane fingerprint; a stale
+    plane aborts worker start-up instead of silently mixing data.
+    """
     global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = CampaignEvaluator(
-        payload["model"],
-        _attach_shared_array(payload["x_shm"]),
-        _attach_shared_array(payload["y_shm"]),
+    registry = SharedPlaneRegistry(fingerprint=payload["planes_fingerprint"])
+    _WORKER_SHM.append(registry)  # keep the mappings alive with the worker
+    x_test = registry.attach(payload["x_shm"])
+    y_test = registry.attach(payload["y_shm"])
+    evaluator = CampaignEvaluator(
+        payload["model"], x_test, y_test,
         batch_size=payload["batch_size"],
         continue_time_across_layers=payload["continue_time"],
         backend=payload["backend"],
         copy_data=False)
+    prefix = payload.get("prefix")
+    if prefix is not None:
+        batch_size = payload["batch_size"]
+        batches = []
+        for index in range(prefix["n_batches"]):
+            start = index * batch_size
+            if prefix["batches"] is None:
+                # split == 0: the "activations" are the test set itself —
+                # slice the already-attached plane instead of attaching
+                # redundant copies
+                z = x_test[start:start + batch_size]
+            else:
+                z = registry.attach(prefix["batches"][index])
+            batches.append((z, y_test[start:start + batch_size]))
+        reps = None
+        if prefix["reps"] is not None:
+            reps = [_attach_rep(registry, descriptor)
+                    for descriptor in prefix["reps"]]
+        evaluator.adopt_prefix(prefix["split"], batches, reps)
+    _WORKER_EVALUATOR = evaluator
 
 
 def _run_worker_job(job: CampaignJob) -> JobResult:
@@ -485,10 +846,22 @@ class MultiprocessingExecutor:
         #: most recent pooled run, arrays counted at ``nbytes`` (0 after a
         #: serial fallback, None before any run) — see _payload_nbytes
         self.payload_bytes: int | None = None
+        #: prefix-plane metrics of the most recent pooled run (only the
+        #: shared-memory executor populates this)
+        self.prefix_plane: dict | None = None
 
     def _make_payload(self, evaluator: CampaignEvaluator
-                      ) -> tuple[dict, Callable[[], None]]:
-        """Build the initializer payload; returns ``(payload, cleanup)``."""
+                      ) -> tuple[dict, Callable[[bool], None]]:
+        """Build the initializer payload.
+
+        Returns
+        -------
+        (dict, callable)
+            The payload and a ``cleanup(success)`` hook invoked after the
+            run — ``success`` is False when the run raised or was
+            abandoned, letting subclasses release resources they would
+            otherwise keep cached for the next run.
+        """
         payload = {
             "model": evaluator.model,
             "x_test": np.asarray(evaluator.x_test),
@@ -497,7 +870,7 @@ class MultiprocessingExecutor:
             "continue_time": evaluator.injector.continue_time_across_layers,
             "backend": evaluator.backend,
         }
-        return payload, lambda: None
+        return payload, lambda success: None
 
     def _shard_count(self, n_pending: int, n_batches: int) -> int:
         """Shards per job when the grid underfills the pool, else 1."""
@@ -507,19 +880,31 @@ class MultiprocessingExecutor:
 
     def run(self, jobs: Sequence[CampaignJob],
             evaluator: CampaignEvaluator) -> list[JobResult]:
+        """Evaluate ``jobs`` and return all ``(point, repeat, accuracy)``
+        results (the materialized form of :meth:`run_iter`)."""
         return list(self.run_iter(jobs, evaluator))
 
     def run_iter(self, jobs: Sequence[CampaignJob],
                  evaluator: CampaignEvaluator) -> Iterator[JobResult]:
+        """Stream ``(point, repeat, accuracy)`` results as cells complete.
+
+        Results arrive *unordered* (``imap_unordered``) but are
+        bit-identical to the serial executor for every cell: plans are
+        pre-generated and the per-batch arithmetic is unchanged.  Pools
+        of one worker (or single-job grids that cannot shard) fall back
+        to the in-process serial loop.
+        """
         jobs = list(jobs)
         n_shards = self._shard_count(len(jobs), self._n_batches(evaluator))
         if self.n_jobs == 1 or (len(jobs) <= 1 and n_shards <= 1):
             self.payload_bytes = 0
+            self.prefix_plane = None  # this run attached no planes
             yield from SerialExecutor().run_iter(jobs, evaluator)
             return
         import multiprocessing
 
         payload, cleanup = self._make_payload(evaluator)
+        success = False
         try:
             with _transient_state_stashed(evaluator.model):
                 self.payload_bytes = _payload_nbytes(payload)
@@ -536,8 +921,9 @@ class MultiprocessingExecutor:
             finally:
                 pool.terminate()
                 pool.join()
+            success = True
         finally:
-            cleanup()
+            cleanup(success)
 
     @staticmethod
     def _n_batches(evaluator: CampaignEvaluator) -> int:
@@ -563,57 +949,143 @@ class MultiprocessingExecutor:
 
 
 class SharedMemoryExecutor(MultiprocessingExecutor):
-    """Pool executor whose test set lives in shared memory.
+    """Pool executor whose test set *and* prefix activations live in
+    shared memory.
 
-    The parent copies ``x_test``/``y_test`` into
-    :class:`multiprocessing.shared_memory.SharedMemory` blocks once;
-    workers attach them zero-copy in their initializer.  The pickled
-    per-worker payload therefore carries only the model and two block
-    descriptors — it no longer scales with the dataset.  Blocks are
-    unlinked as soon as the run finishes.
+    The parent publishes ``x_test``/``y_test`` plus its cached fault-free
+    prefix activation batches (and the first suffix layer's derived
+    im2col/packed input representations) as planes in a
+    :class:`SharedPlaneRegistry`; workers attach everything zero-copy in
+    their initializer.  The pickled per-worker payload carries only the
+    model and block descriptors — independent of dataset size — and no
+    worker ever recomputes the fault-free prefix.
+
+    Planes are fingerprinted against the evaluator's data + weights and
+    kept alive across ``run`` calls of the same campaign (e.g. the
+    per-layer sweeps of a Fig. 4 grid republish nothing); a fingerprint
+    change republishes, a failed or abandoned run releases immediately,
+    and a ``weakref`` finalizer unlinks whatever remains when the
+    executor is garbage-collected or the interpreter exits.
     """
 
     name = "shared_memory"
     _initializer = staticmethod(_init_worker_shm)
 
+    def __init__(self, n_jobs: int | None = None):
+        super().__init__(n_jobs)
+        self._registry: SharedPlaneRegistry | None = None
+        self._payload: dict | None = None
+        self._prefix_info: dict | None = None
+
+    def release_planes(self) -> None:
+        """Unlink every published plane now (idempotent).  Called on
+        failed runs, by :meth:`FaultCampaign.close`, and by the registry
+        finalizer as a last resort."""
+        if self._registry is not None:
+            self._registry.release()
+        self._registry = None
+        self._payload = None
+        self._prefix_info = None
+
+    def _publish_prefix(self, evaluator: CampaignEvaluator,
+                        registry: SharedPlaneRegistry) -> dict:
+        """Publish the evaluator's fault-free prefix activation batches
+        (computing them once, in the parent) plus the first suffix
+        layer's derived input representations when that layer memoizes
+        one (see :mod:`repro.binary.layers`).
+
+        At ``split == 0`` (a fully mapped model: no fault-free prefix)
+        the activation batches are byte-for-byte slices of ``x_test``,
+        which workers already attach — ``batches`` is ``None`` then and
+        workers slice the test-set plane instead of attaching redundant
+        copies.
+        """
+        split = evaluator._baseline_split()
+        with evaluator._evaluation_scope():
+            batches = evaluator._batches_for(split)
+            descriptors = None
+            if split > 0:
+                descriptors = [registry.publish(z, label=f"prefix{index}")
+                               for index, (z, _) in enumerate(batches)]
+            reps: list[dict] | None = None
+            layers = evaluator.model.layers
+            if split < len(layers) and hasattr(layers[split],
+                                               "_input_cache"):
+                layer = layers[split]
+                reps = []
+                for z, _ in batches:
+                    # one forward memoizes exactly the representation the
+                    # workers will look up — shared code path, no drift
+                    layer.forward(z, training=False)
+                    for tag in ("packed", "cols"):
+                        rep = layer._input_cache.peek(tag, z)
+                        if rep is not None:
+                            reps.append(_publish_rep(registry, tag, rep))
+                            break
+                    else:
+                        # this layer memoizes nothing: drop the partially
+                        # published set — nobody will ever attach it
+                        for published in reps:
+                            registry.discard(published["array"])
+                        reps = None
+                        break
+        return {"split": split, "n_batches": len(batches),
+                "batches": descriptors, "reps": reps}
+
     def _make_payload(self, evaluator: CampaignEvaluator
-                      ) -> tuple[dict, Callable[[], None]]:
-        from multiprocessing import shared_memory
+                      ) -> tuple[dict, Callable[[bool], None]]:
+        def cleanup(success: bool) -> None:
+            if not success:
+                self.release_planes()
 
-        blocks: list = []
-
-        def share(array: np.ndarray) -> dict:
-            array = np.ascontiguousarray(array)
-            shm = shared_memory.SharedMemory(create=True,
-                                             size=max(1, array.nbytes))
-            blocks.append(shm)
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
-            view[...] = array
-            return {"name": shm.name, "shape": array.shape,
-                    "dtype": str(array.dtype)}
-
-        def cleanup() -> None:
-            for shm in blocks:
-                shm.close()
-                try:
-                    shm.unlink()
-                except FileNotFoundError:
-                    pass
-
+        fingerprint = evaluator.plane_fingerprint()
+        if (self._registry is not None and self._payload is not None
+                and self._registry.fingerprint == fingerprint):
+            # campaign-aware caching: same data/weights/geometry — the
+            # planes published for the previous run are still exact
+            self.prefix_plane = dict(self._prefix_info, reused=True)
+            return self._payload, cleanup
+        self.release_planes()
+        registry = SharedPlaneRegistry(fingerprint=fingerprint)
         try:
+            x_desc = registry.publish(evaluator.x_test, label="x_test")
+            y_desc = registry.publish(evaluator.y_test, label="y_test")
+            prefix = self._publish_prefix(evaluator, registry)
             payload = {
                 "model": evaluator.model,
-                "x_shm": share(evaluator.x_test),
-                "y_shm": share(evaluator.y_test),
+                "planes_fingerprint": fingerprint,
+                "x_shm": x_desc,
+                "y_shm": y_desc,
+                "prefix": prefix,
                 "batch_size": evaluator.batch_size,
                 "continue_time":
                     evaluator.injector.continue_time_across_layers,
                 "backend": evaluator.backend,
             }
         except Exception:
-            cleanup()
+            registry.release()
             raise
+        self._registry = registry
+        self._payload = payload
+        self._prefix_info = {
+            "split": prefix["split"],
+            "batches": prefix["n_batches"],
+            "rep_planes": len(prefix["reps"] or []),
+            "bytes": registry.nbytes,
+        }
+        self.prefix_plane = dict(self._prefix_info, reused=False)
         return payload, cleanup
+
+
+def _publish_rep(registry: SharedPlaneRegistry, tag: str, rep) -> dict:
+    """Decompose one memoized input representation into a plane descriptor
+    (``(array, (oh, ow))`` conv tuples or bare dense word arrays)."""
+    if isinstance(rep, tuple):
+        array, extra = rep
+    else:
+        array, extra = rep, None
+    return {"tag": tag, "array": registry.publish(array, label=f"rep-{tag}"),
+            "extra": extra}
 
 
 def _strip_transient_state(model: Sequential) -> None:
@@ -623,7 +1095,7 @@ def _strip_transient_state(model: Sequential) -> None:
         if hasattr(layer, "_invalidate_caches"):
             layer._invalidate_caches()
         if hasattr(layer, "_input_cache"):
-            layer._input_cache = []
+            layer._input_cache = type(layer._input_cache)()
         if hasattr(layer, "_cache"):
             layer._cache = None
 

@@ -94,8 +94,11 @@ class FaultSpec:
         Stuck level for stuck-at faults.
     semantics:
         Mask-application level; ``None`` selects the canonical default
-        per fault kind (bit-flips at OUTPUT level, stuck-at at WEIGHT
-        level).
+        per fault kind — OUTPUT level for every kind, including stuck-at
+        (a dead gate rails its output line regardless of the stored
+        operand); pass ``Semantics.WEIGHT`` explicitly for the
+        frozen-stored-operand reading, or ``Semantics.PRODUCT`` for the
+        device-true per-XNOR reference path.
     """
 
     kind: FaultType

@@ -59,7 +59,21 @@ class CampaignJournal:
 
     # -- lifecycle -------------------------------------------------------
     def open(self) -> "CampaignJournal":
-        """Load any existing cells, then open the file for appending."""
+        """Load any existing cells, then open the file for appending.
+
+        Returns
+        -------
+        CampaignJournal
+            ``self``, with :attr:`completed` holding every
+            ``(point, repeat) -> accuracy`` cell already on disk.
+
+        Raises
+        ------
+        ValueError
+            If the file exists but is not a campaign journal, or its
+            header (grid, specs, data/weights fingerprint) does not match
+            this campaign — mixed journals are refused, never merged.
+        """
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         if not fresh:
             self._load_existing()
@@ -115,7 +129,12 @@ class CampaignJournal:
 
     def record(self, point: int, repeat: int, x: float,
                accuracy: float) -> None:
-        """Append one completed cell, durably (flush + fsync)."""
+        """Append one completed cell, durably (flush + fsync).
+
+        Accuracies round-trip exactly: Python floats serialize via
+        ``repr`` (shortest round-trippable form), so a resumed
+        :class:`SweepResult` is bit-identical to an uninterrupted run.
+        """
         self.completed[(point, repeat)] = accuracy
         self._write_line({"point": point, "repeat": repeat,
                           "x": float(x), "accuracy": float(accuracy)})

@@ -168,16 +168,18 @@ def test_multiprocessing_preserves_caller_caches(trained_setup):
     """Spinning up a pool must not discard the caller's warm layer caches
     (mixed serial/parallel use would otherwise thrash them)."""
     model, x, y = trained_setup
-    evaluator = CampaignEvaluator(model, x, y)
+    # packed backend: dense layers memoize their packed input words (the
+    # float dense path derives nothing cacheable)
+    evaluator = CampaignEvaluator(model, x, y, backend="packed")
     evaluator.baseline()  # warm prefix activations + layer input caches
     jobs = build_jobs(model, FaultSpec.bitflip, [0.3], 2, 0, 8, 4)
     evaluator.evaluate_plan(jobs[0].plan)  # warm packed-kernel caches too
-    warm_inputs = {layer.name: list(layer._input_cache)
+    warm_inputs = {layer.name: layer._input_cache.entries()
                    for layer in model.layers_of_type(QuantDense)}
     assert any(warm_inputs.values()), "test premise: caches must be warm"
     MultiprocessingExecutor(n_jobs=2).run(jobs, evaluator)
     for layer in model.layers_of_type(QuantDense):
-        assert layer._input_cache == warm_inputs[layer.name]
+        assert layer._input_cache.entries() == warm_inputs[layer.name]
 
 
 def test_evaluator_snapshot_immune_to_caller_mutation(trained_setup):
@@ -329,4 +331,4 @@ def test_clear_caches_releases_memoized_state(trained_setup):
     assert not campaign._evaluator._suffix_batches
     assert campaign._evaluator._baseline is None
     for layer in model.layers_of_type(QuantDense):
-        assert layer._input_cache == []
+        assert len(layer._input_cache) == 0

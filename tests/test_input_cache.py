@@ -1,0 +1,187 @@
+"""Campaign-aware input-representation cache (repro.binary.layers)."""
+
+import weakref
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.binary import QuantDense
+from repro.binary.layers import _INPUT_CACHE_SLOTS, InputRepCache
+from repro.core import FaultCampaign, FaultSpec
+
+
+def _frozen(shape=(4,), seed=0):
+    array = np.random.default_rng(seed).standard_normal(shape)
+    array = array.astype(np.float32)
+    array.flags.writeable = False
+    return array
+
+
+class _Owner:
+    """Stand-in for an evaluator: something a weakref can point at."""
+
+
+def test_default_budget_keeps_legacy_fifo_bound():
+    cache = InputRepCache()
+    arrays = [_frozen(seed=i) for i in range(12)]
+    for array in arrays:
+        cache.put("cols", array, array * 2)
+    assert len(cache) == _INPUT_CACHE_SLOTS
+    # oldest entries evicted first
+    assert cache.peek("cols", arrays[0]) is None
+    assert cache.peek("cols", arrays[-1]) is not None
+
+
+def test_configured_owner_holds_more_than_the_legacy_bound():
+    cache = InputRepCache()
+    anchor = _Owner()  # the owner must outlive the test body
+    owner = weakref.ref(anchor)
+    cache.configure(owner, slots=32)
+    arrays = [_frozen(seed=i) for i in range(20)]
+    for array in arrays:
+        cache.put("cols", array, array * 2, owner=owner)
+    assert len(cache) == 20
+    assert all(cache.peek("cols", array) is not None for array in arrays)
+
+
+def test_byte_cap_evicts_lru_first():
+    cache = InputRepCache()
+    anchor = _Owner()
+    owner = weakref.ref(anchor)
+    value = np.zeros(256, dtype=np.float32)  # 1 KiB per entry
+    cache.configure(owner, slots=100, max_bytes=3 * value.nbytes)
+    arrays = [_frozen(seed=i) for i in range(5)]
+    for array in arrays:
+        cache.put("cols", array, value.copy(), owner=owner)
+    assert len(cache) == 3
+    assert cache.peek("cols", arrays[0]) is None
+    assert cache.peek("cols", arrays[-1]) is not None
+    assert cache.stats(owner)["bytes"] <= 3 * value.nbytes
+
+
+def test_owners_do_not_evict_each_other():
+    cache = InputRepCache()
+    anchors = (_Owner(), _Owner())
+    a, b = weakref.ref(anchors[0]), weakref.ref(anchors[1])
+    cache.configure(a, slots=4)
+    cache.configure(b, slots=4)
+    a_arrays = [_frozen(seed=i) for i in range(4)]
+    for array in a_arrays:
+        cache.put("cols", array, array, owner=a)
+    # b floods its own budget far beyond a's capacity
+    for i in range(20):
+        cache.put("cols", _frozen(seed=100 + i), i, owner=b)
+    assert all(cache.peek("cols", array) is not None for array in a_arrays)
+    assert cache.stats(b)["entries"] == 4
+
+
+def test_hit_and_miss_accounting_per_owner():
+    cache = InputRepCache()
+    anchor = _Owner()
+    owner = weakref.ref(anchor)
+    cache.configure(owner, slots=8)
+    array = _frozen()
+    assert cache.get("cols", array, owner=owner) is None      # miss
+    cache.put("cols", array, "rep", owner=owner)
+    assert cache.get("cols", array, owner=owner) == "rep"     # hit
+    cache.peek("cols", array)                                  # not counted
+    stats = cache.stats(owner)
+    assert (stats["hits"], stats["misses"]) == (1, 1)
+    assert stats["hit_rate"] == 0.5
+    assert cache.stats(None) == {"hits": 0, "misses": 0, "entries": 0,
+                                 "bytes": 0, "hit_rate": 0.0}
+
+
+def test_writeable_arrays_never_cached_nor_counted():
+    cache = InputRepCache()
+    writable = np.zeros(4, dtype=np.float32)
+    assert cache.get("cols", writable) is None
+    cache.put("cols", writable, "rep")
+    assert len(cache) == 0
+    assert cache.stats(None)["misses"] == 0
+
+
+def test_dead_owner_entries_purged():
+    cache = InputRepCache()
+    anchor = _Owner()
+    owner = weakref.ref(anchor)
+    cache.configure(owner, slots=8)
+    cache.put("cols", _frozen(), "rep", owner=owner)
+    assert len(cache) == 1
+    del anchor  # the owning evaluator is garbage-collected
+    cache.put("cols", _frozen(seed=1), "rep2")  # any put triggers the purge
+    assert all(not isinstance(entry[0], weakref.ref) or entry[0]() is not None
+               for entry in cache.entries())
+    assert cache.stats(owner)["entries"] == 0
+
+
+# -- end-to-end: a >8-batch campaign actually hits ------------------------
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    rng = np.random.default_rng(0)
+    n = 700
+    x = rng.choice([-1.0, 1.0], size=(n, 16)).astype(np.float32)
+    y = (x[:, :8].sum(axis=1) > 0).astype(int)
+    model = nn.Sequential([
+        QuantDense(32, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(2, input_quantizer="ste_sign", kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+    ]).build((16,), seed=0)
+    trainer = nn.Trainer(nn.Adam(0.01), seed=0)
+    trainer.fit(model, x[:300], y[:300], epochs=15, batch_size=32)
+    return model, x[300:], y[300:]
+
+
+def test_campaign_cache_hits_on_more_batches_than_legacy_slots(trained_setup):
+    """16 batches > the 8 legacy slots: the fixed FIFO cycled at 0% here;
+    the campaign-sized cache must hit on every repetition after the first."""
+    model, x, y = trained_setup
+    campaign = FaultCampaign(model, x, y, rows=8, cols=4, batch_size=25,
+                             backend="packed")
+    result = campaign.run(FaultSpec.bitflip, xs=[0.2, 0.4], repeats=3)
+    stats = result.meta["input_cache"]
+    assert stats["misses"] == 16   # one cold pass over the 16 batches
+    assert stats["hits"] > 0
+    assert stats["hit_rate"] > 0.5
+
+
+def test_campaign_respects_cache_byte_cap(trained_setup):
+    """A cap smaller than one batch's representation disables retention
+    without corrupting results."""
+    model, x, y = trained_setup
+    capped = FaultCampaign(model, x, y, rows=8, cols=4, batch_size=25,
+                           backend="packed", cache_bytes=8)
+    free = FaultCampaign(model, x, y, rows=8, cols=4, batch_size=25,
+                         backend="packed")
+    r_capped = capped.run(FaultSpec.bitflip, xs=[0.2, 0.4], repeats=2)
+    r_free = free.run(FaultSpec.bitflip, xs=[0.2, 0.4], repeats=2)
+    assert np.array_equal(r_capped.accuracies, r_free.accuracies)
+    assert r_capped.meta["input_cache"]["hits"] == 0
+    assert r_capped.meta["input_cache"]["bytes"] <= 8
+
+
+def test_interleaved_campaigns_keep_their_hit_rates(trained_setup):
+    model, x, y = trained_setup
+    c1 = FaultCampaign(model, x, y, rows=8, cols=4, batch_size=25,
+                       backend="packed")
+    c2 = FaultCampaign(model, x[:400], y[:400], rows=8, cols=4,
+                       batch_size=25, backend="packed")
+    for _ in range(2):
+        c1.run(FaultSpec.bitflip, xs=[0.3], repeats=2)
+        c2.run(FaultSpec.bitflip, xs=[0.3], repeats=2)
+    # each campaign pays its cold pass once; interleaving evicts nothing
+    assert c1.input_cache_stats()["misses"] == 16
+    assert c2.input_cache_stats()["misses"] == 16
+    assert c1.input_cache_stats()["hit_rate"] > 0.5
+    assert c2.input_cache_stats()["hit_rate"] > 0.5
+    # closing one campaign releases only its own entries: the survivor's
+    # next run is pure hits, no fresh cold pass
+    c1.close()
+    assert c1.input_cache_stats()["entries"] == 0
+    before = c2.input_cache_stats()["misses"]
+    c2.run(FaultSpec.bitflip, xs=[0.3], repeats=2)
+    assert c2.input_cache_stats()["misses"] == before
