@@ -1,74 +1,79 @@
-"""Monitoring and mitigating crossbar faults — detection, remap, vote.
+"""Mitigating crossbar faults across a device lifetime.
 
-Demonstrates the three reliability strategies built on the platform:
+The paper's conclusion calls for "strategies able to monitor and/or
+mitigate applications' degradation during their lifetime".  Instead of a
+single static fault rate, this example walks the ``end-of-life`` zoo
+scenario — stuck cells accumulating along the Weibull wear curve over a
+transient background — and compares, at every device-age checkpoint:
 
-1. **march test** — detect stuck gates on a crossbar online;
-2. **column remapping** — park faulty columns on spare column slots;
-3. **majority vote** — run inference on several independently faulty
-   crossbar banks and take the per-sample majority.
+1. **unmitigated** — the scenario trajectory as compiled (one crossbar
+   bank per layer);
+2. **majority vote** — inference on three crossbar banks with
+   independently placed faults at the *same* lifetime rates, taking the
+   per-sample majority (TMR in space).
+
+The output is the accuracy-vs-device-age curve an operator would use to
+decide when redundancy stops paying and the part must be replaced.
 
 Run:  python examples/fault_mitigation.py
 """
 
 import numpy as np
 
-from repro.core import (CampaignEvaluator, FaultGenerator, FaultSpec,
-                        majority_vote_predict, march_test,
-                        masks_from_detection, remap_columns)
-from repro.core.detection import apply_column_permutation
+from repro.analysis import ascii_plot
+from repro.core import FaultGenerator, majority_vote_predict
 from repro.experiments import get_mnist, trained_lenet
-from repro.lim import Crossbar, CrossbarConfig, ideal_device_params
+from repro.scenarios import get_scenario, run_scenario
 
 TEST_IMAGES = 300
+REPEATS = 3
+BANKS = 3
+ROWS, COLS = 40, 10
 
 
 def main():
     model = trained_lenet()
     _, test = get_mnist()
     test = test.subset(TEST_IMAGES)
-    # the campaign engine's evaluator scores arbitrary fixed fault plans
-    # while reusing the fault-free prefix work across all of them
-    evaluator = CampaignEvaluator(model, test.x, test.y)
-    print(f"fault-free accuracy: {evaluator.baseline():.1%}\n")
 
-    # -- 1. detect faults on a physically simulated crossbar ----------------
-    # dense1 has 10 output channels; a 40x16 crossbar leaves 6 spare
-    # columns the remapper can park faulty columns on.
-    crossbar = Crossbar(CrossbarConfig(rows=40, cols=16,
-                                       device=ideal_device_params()))
-    rng = np.random.default_rng(5)
-    for col in rng.choice(16, size=3, replace=False):
-        crossbar.inject_column_fault(int(col),
-                                     stuck_value=int(rng.integers(0, 2)))
-    for _ in range(10):
-        row, col = rng.integers(0, 40), rng.integers(0, 16)
-        crossbar.inject_stuck_gate(int(row), int(col), int(rng.integers(0, 2)))
-    detection = march_test(crossbar)
-    found = len(detection["stuck_at_0"]) + len(detection["stuck_at_1"])
-    print(f"march test found {found} stuck gates "
-          f"({len(detection['stuck_at_1'])} SA1, "
-          f"{len(detection['stuck_at_0'])} SA0)")
+    scenario = get_scenario("end-of-life")
+    print(f"scenario: {scenario.name} — {scenario.description}\n")
 
-    # -- 2. assess the impact, then remap columns away from faults ---------
-    masks = masks_from_detection(crossbar, detection)
-    damaged = evaluator.evaluate_plan({"dense1": masks})
-    print(f"accuracy with faults on dense1's crossbar: {damaged:.1%}")
+    # -- 1. the unmitigated lifetime trajectory (campaign engine) ----------
+    result = run_scenario(scenario, model, test.x, test.y, repeats=REPEATS,
+                          rows=ROWS, cols=COLS)
+    print(f"fault-free accuracy: {result.baseline:.1%}")
 
-    perm = remap_columns(masks, filters=10)
-    remapped_plan = {"dense1": apply_column_permutation(masks, perm)}
-    remapped = evaluator.evaluate_plan(remapped_plan)
-    print(f"after column remapping (6 spare columns):  {remapped:.1%}")
+    # -- 2. the same lifetime, majority-voted across independent banks ----
+    # each bank draws its own fault placement at the checkpoint's rates
+    # (result.grid is the compiled grid the trajectory above ran on)
+    voted_accuracy = []
+    for cell in result.grid.cells:
+        plans = [FaultGenerator(list(cell.specs), rows=ROWS, cols=COLS,
+                                seed=1000 * cell.index + bank).generate(model)
+                 for bank in range(BANKS)]
+        voted = majority_vote_predict(model, test.x, plans)
+        voted_accuracy.append(float((voted == test.y).mean()))
 
-    # -- 3. majority vote across independent crossbar banks ---------------
-    spec = FaultSpec.stuck_at(0.08)
-    plans = [FaultGenerator(spec, rows=40, cols=10, seed=s).generate(model)
-             for s in (11, 22, 33)]
-    singles = [evaluator.evaluate_plan(bank_plan) for bank_plan in plans]
-    voted = majority_vote_predict(model, test.x, plans)
-    voted_accuracy = float((voted == test.y).mean())
-    print(f"\nstuck-at 8% on three independent banks: "
-          f"{', '.join(f'{s:.1%}' for s in singles)}")
-    print(f"majority vote across the banks:          {voted_accuracy:.1%}")
+    # -- 3. the operator's curve ------------------------------------------
+    print(f"\n{'age (cycles)':>14} {'stuck rate':>11} "
+          f"{'unmitigated':>12} {'voted x' + str(BANKS):>9}")
+    unmitigated = result.trajectory()
+    for i, record in enumerate(result.as_rows()):
+        print(f"{record['age']:14.2g} {record['stuck_rate']:11.4%} "
+              f"{unmitigated[i]:12.1%} {voted_accuracy[i]:9.1%}")
+
+    ages = [age / 1e8 for age in result.ages]
+    print()
+    print(ascii_plot(
+        {"unmitigated": (ages, [100 * a for a in unmitigated]),
+         f"voted x{BANKS}": (ages, [100 * a for a in voted_accuracy])},
+        title="mitigation across the device lifetime",
+        x_label="age (1e8 cycles)", y_label="accuracy %",
+        y_range=(0, 100)))
+    print("\nreading: spatial redundancy buys lifetime up to the knee of "
+          "the wear curve; past it, replace the part (or remap — see "
+          "repro.core.detection).")
 
 
 if __name__ == "__main__":

@@ -10,9 +10,14 @@ Commands
 ``vectors``       generate an annotated fault-vector file for a model
 ``inspect``       print the contents of a fault-vector file
 ``sweep``         accuracy-vs-rate sweep on the trained LeNet
+``scenarios``     declarative lifetime/environment scenarios (list / run)
 ``table1``        the adopted experimental setup (paper Table I)
 ``table2``        model characteristics (paper Table II)
 ``cost``          per-layer LIM energy/latency estimate of a model
+
+Errors in user-provided inputs — malformed scenario specs, unknown zoo
+names, journals that do not match the requested campaign — exit with
+status 2; internal failures raise.
 """
 
 from __future__ import annotations
@@ -84,20 +89,27 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
+def _journal_args_error(args) -> str | None:
+    """Exit-2 message when --journal/--resume are inconsistent, else None
+    (shared by every journaling command so the guard cannot drift)."""
     import os
 
+    if args.resume and not args.journal:
+        return "--resume requires --journal PATH (nothing to resume)"
+    if (args.journal and not args.resume and os.path.exists(args.journal)
+            and os.path.getsize(args.journal) > 0):
+        return (f"journal {args.journal} already exists; "
+                "pass --resume to continue it")
+    return None
+
+
+def _cmd_sweep(args) -> int:
     from .core import FaultCampaign
     from .experiments import get_mnist, trained_lenet
 
-    if args.resume and not args.journal:
-        print("error: --resume requires --journal PATH (nothing to resume)",
-              file=sys.stderr)
-        return 2
-    if (args.journal and not args.resume and os.path.exists(args.journal)
-            and os.path.getsize(args.journal) > 0):
-        print(f"error: journal {args.journal} already exists; "
-              "pass --resume to continue it", file=sys.stderr)
+    error = _journal_args_error(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     model = trained_lenet()
     _, test = get_mnist()
@@ -138,6 +150,98 @@ def _cmd_sweep(args) -> int:
     rows = [(f"{x:g}", f"{100 * m:.1f}", f"{100 * s:.1f}")
             for x, m, s in result.as_rows()]
     print(markdown_table(["rate", "accuracy %", "std %"], rows))
+    return 0
+
+
+def _cmd_scenarios_list(args) -> int:
+    from .scenarios import get_scenario, scenario_names
+    header = ["name", "checkpoints", "environments", "clauses", "story"]
+    rows = []
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        clauses = (len(scenario.clauses)
+                   + sum(len(e.clauses) for e in scenario.episodes))
+        story = scenario.description
+        if len(story) > 64:
+            story = story[:61] + "..."
+        rows.append((name, len(scenario.timeline.ages),
+                     "+".join(scenario.episode_names()), clauses, story))
+    print(markdown_table(header, rows))
+    return 0
+
+
+def _cmd_scenarios_run(args) -> int:
+    from .experiments import get_mnist, trained_lenet
+    from .scenarios import Scenario, ScenarioError, resolve_scenario, run_scenario
+
+    if args.name is None and args.spec is None:
+        print("error: name a zoo scenario or pass --spec FILE "
+              "(see: repro scenarios list)", file=sys.stderr)
+        return 2
+    if args.name is not None and args.spec is not None:
+        print(f"error: both a zoo name ({args.name!r}) and --spec given; "
+              "pick one", file=sys.stderr)
+        return 2
+    error = _journal_args_error(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        scenario = (Scenario.from_file(args.spec) if args.spec
+                    else resolve_scenario(args.name))
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    model = trained_lenet()
+    _, test = get_mnist()
+    test = test.subset(args.images)
+    executor = args.executor
+    if executor is None:
+        serial = args.jobs is None or args.jobs == 1
+        executor = "serial" if serial else "multiprocessing"
+    progress = None
+    if args.journal:
+        def progress(done, total, cell):
+            point, repeat, accuracy = cell
+            print(f"[{done}/{total}] cell {point} repeat {repeat}: "
+                  f"{100 * accuracy:.1f}%", file=sys.stderr)
+    try:
+        result = run_scenario(
+            scenario, model, test.x, test.y, repeats=args.repeats,
+            seed=args.seed, rows=args.rows, cols=args.cols,
+            executor=executor, n_jobs=args.jobs or None,
+            backend=args.backend,
+            cache_bytes=(args.cache_cap * 2 ** 20
+                         if args.cache_cap is not None else None),
+            journal=args.journal, progress=progress)
+    except (ScenarioError, ValueError) as error:
+        # malformed scenario, unmapped layer targets, or resuming a
+        # journal written for a different scenario/grid
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.journal:
+        print(f"journal: {args.journal} "
+              f"({result.sweep.meta['resumed_cells']} cells resumed)")
+    print(f"scenario: {result.scenario.name}  "
+          f"baseline: {100 * result.baseline:.1f}%  "
+          f"[{result.meta['executor']}/{result.meta['backend']}]")
+    multi = len(result.episodes) > 1
+    header = ["age (cycles)", "stuck rate"]
+    header += [f"{name} %" for name in result.episodes]
+    if multi:
+        header.append("blended %")
+    rows = []
+    for record in result.as_rows():
+        row = [f"{record['age']:g}", f"{record['stuck_rate']:.4f}"]
+        for name in result.episodes:
+            episode = record["episodes"][name]
+            row.append(f"{100 * episode['mean']:.1f}"
+                       + (f" ±{100 * episode['std']:.1f}"
+                          if args.repeats > 1 else ""))
+        if multi:
+            row.append(f"{100 * record['blended']:.1f}")
+        rows.append(tuple(row))
+    print(markdown_table(header, rows))
     return 0
 
 
@@ -237,6 +341,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--resume", action="store_true",
                          help="allow continuing an existing --journal file")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_scen = sub.add_parser(
+        "scenarios", help="declarative lifetime/environment fault scenarios")
+    scen_sub = p_scen.add_subparsers(dest="scenarios_command", required=True)
+    p_slist = scen_sub.add_parser("list", help="the scenario zoo")
+    p_slist.set_defaults(func=_cmd_scenarios_list)
+    p_srun = scen_sub.add_parser(
+        "run", help="run a scenario on the trained LeNet; prints the "
+                    "per-checkpoint accuracy trajectory")
+    p_srun.add_argument("name", nargs="?", default=None,
+                        help="zoo scenario name (see: repro scenarios list)")
+    p_srun.add_argument("--spec", default=None, metavar="FILE",
+                        help="YAML/JSON scenario spec file instead of a "
+                             "zoo name")
+    p_srun.add_argument("--repeats", type=int, default=3)
+    p_srun.add_argument("--images", type=int, default=300)
+    p_srun.add_argument("--rows", type=int, default=40)
+    p_srun.add_argument("--cols", type=int, default=10)
+    p_srun.add_argument("--seed", type=int, default=0)
+    p_srun.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run the campaign on N worker processes "
+                             "(default: 1 = in-process serial; 0 = all cores)")
+    p_srun.add_argument("--executor", default=None,
+                        choices=["serial", "multiprocessing",
+                                 "shared_memory"],
+                        help="executor override (default: serial for "
+                             "--jobs<=1, multiprocessing otherwise)")
+    p_srun.add_argument("--backend", default="float",
+                        choices=["float", "packed"],
+                        help="inference backend: float GEMM or packed "
+                             "uint64 XNOR/popcount (bit-identical)")
+    p_srun.add_argument("--cache-cap", type=int, default=None, metavar="MiB",
+                        help="byte cap (in MiB), per quantized layer, for "
+                             "the campaign's input-representation cache")
+    p_srun.add_argument("--journal", default=None, metavar="PATH",
+                        help="stream completed cells into a JSONL journal; "
+                             "rerun with --resume to continue an "
+                             "interrupted trajectory")
+    p_srun.add_argument("--resume", action="store_true",
+                        help="allow continuing an existing --journal file")
+    p_srun.set_defaults(func=_cmd_scenarios_run)
 
     p_t1 = sub.add_parser("table1", help="experimental setup (Table I)")
     p_t1.set_defaults(func=_cmd_table1)

@@ -14,18 +14,20 @@ from .engine import (CampaignEvaluator, CampaignJob, MultiprocessingExecutor,
                      SerialExecutor, SharedMemoryExecutor,
                      SharedPlaneRegistry, build_jobs, get_executor,
                      plan_has_faults)
-from .faults import FaultSpec, FaultType, Semantics, StuckPolarity
+from .faults import FaultSpec, FaultType, Semantics, SpatialMode, StuckPolarity
 from .generator import FaultGenerator, FaultPlan, mapped_layers
 from .injector import FaultInjector
 from .journal import CampaignJournal
 from .mapping import LayerMapping, tile_vector
 from .masks import (LayerMasks, assemble_layer_masks, build_bitflip_mask,
-                    build_line_mask, build_stuck_mask)
+                    build_clustered_mask, build_line_mask, build_rate_mask,
+                    build_row_burst_mask, build_stuck_mask)
 from .vectors import load_fault_vectors, save_fault_vectors
 
 __all__ = [
-    "FaultType", "StuckPolarity", "Semantics", "FaultSpec",
+    "FaultType", "StuckPolarity", "Semantics", "SpatialMode", "FaultSpec",
     "LayerMasks", "build_bitflip_mask", "build_stuck_mask", "build_line_mask",
+    "build_clustered_mask", "build_row_burst_mask", "build_rate_mask",
     "assemble_layer_masks",
     "LayerMapping", "tile_vector",
     "FaultGenerator", "FaultPlan", "mapped_layers",

@@ -13,10 +13,13 @@ The paper injects faults related to time-dependent deviations:
 
 from __future__ import annotations
 
+import math
+import operator
 from dataclasses import dataclass, field
 from enum import Enum
 
-__all__ = ["FaultType", "StuckPolarity", "FaultSpec", "Semantics"]
+__all__ = ["FaultType", "StuckPolarity", "FaultSpec", "Semantics",
+           "SpatialMode"]
 
 
 class FaultType(Enum):
@@ -38,6 +41,29 @@ class StuckPolarity(Enum):
     STUCK_AT_0 = 0   # frozen at logic 0 (-1 in the bipolar domain)
     STUCK_AT_1 = 1   # frozen at logic 1 (+1 in the bipolar domain)
     RANDOM = 2
+
+
+class SpatialMode(Enum):
+    """Spatial distribution of rate-based fault masks.
+
+    The paper draws faulty cells i.i.d. uniform over the crossbar
+    (``IID``).  Real device populations are often *spatially correlated*
+    — process variation clusters, shared row drivers — and correlated
+    masks behave qualitatively differently from i.i.d. ones at the same
+    injection rate (arXiv:2302.09902).  The injection rate still sets the
+    exact number of faulty cells in every mode; only their placement
+    changes.
+
+    ``CLUSTERED``  — faults grow in compact neighbourhoods of
+    ``cluster_size`` cells around random seed cells.
+
+    ``ROW_BURST``  — faults fill bursts of ``cluster_size`` consecutive
+    rows (a failing row driver takes its neighbours with it).
+    """
+
+    IID = "iid"
+    CLUSTERED = "clustered"
+    ROW_BURST = "row_burst"
 
 
 class Semantics(Enum):
@@ -99,6 +125,18 @@ class FaultSpec:
         operand); pass ``Semantics.WEIGHT`` explicitly for the
         frozen-stored-operand reading, or ``Semantics.PRODUCT`` for the
         device-true per-XNOR reference path.
+    spatial:
+        Placement distribution of rate-based masks (bit-flip / stuck-at):
+        i.i.d. uniform (the paper's default), clustered neighbourhoods,
+        or row bursts — see :class:`SpatialMode`.
+    cluster_size:
+        Cells per cluster (``CLUSTERED``) or rows per burst
+        (``ROW_BURST``); must be ≥ 1 for correlated modes and 0 for IID.
+    layers:
+        Restrict this spec to the named mapped layers; ``None`` (default)
+        applies it to every mapped layer the generator visits.  Scenario
+        compilation uses this to compose clauses targeting different
+        layer subsets into one flat spec list.
     """
 
     kind: FaultType
@@ -107,19 +145,74 @@ class FaultSpec:
     period: int = 0
     polarity: StuckPolarity = StuckPolarity.RANDOM
     semantics: Semantics | None = field(default=None)
+    spatial: SpatialMode = SpatialMode.IID
+    cluster_size: int = 0
+    layers: tuple[str, ...] | None = None
 
     def __post_init__(self):
-        if not 0.0 <= self.rate <= 1.0:
+        try:
+            if isinstance(self.rate, str):
+                raise TypeError
+            rate = float(self.rate)
+        except (TypeError, ValueError):
+            raise ValueError(f"rate must be a number, got {self.rate!r}") from None
+        if not math.isfinite(rate) or not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        for name in ("count", "period", "cluster_size"):
+            value = getattr(self, name)
+            try:
+                object.__setattr__(self, name, operator.index(value))
+            except TypeError:
+                raise ValueError(
+                    f"{name} must be an integer, got {value!r}") from None
         if self.count < 0:
             raise ValueError("count must be non-negative")
         if self.period < 0:
-            raise ValueError("period must be non-negative")
+            raise ValueError(
+                "period must be non-negative (0/1 = static, n >= 2 = "
+                "sensitized every n-th XNOR operation)")
+        # coerce enum-valued fields passed as their string values, so a
+        # spatial='clustered' typo-path can never silently fall back to
+        # an i.i.d. mask downstream
+        for name, enum in (("kind", FaultType), ("spatial", SpatialMode)):
+            try:
+                object.__setattr__(self, name, enum(getattr(self, name)))
+            except ValueError:
+                raise ValueError(
+                    f"{name} must be one of "
+                    f"{[member.value for member in enum]}, "
+                    f"got {getattr(self, name)!r}") from None
+        if self.semantics is not None:
+            try:
+                object.__setattr__(self, "semantics", Semantics(self.semantics))
+            except ValueError:
+                raise ValueError(
+                    f"semantics must be one of "
+                    f"{[member.value for member in Semantics]}, "
+                    f"got {self.semantics!r}") from None
         if self.kind in (FaultType.FAULTY_ROWS, FaultType.FAULTY_COLUMNS):
             if self.rate:
                 raise ValueError("row/column faults are specified by count, not rate")
+            if self.spatial != SpatialMode.IID:
+                raise ValueError("spatial modes apply to rate-based faults; "
+                                 "line faults are already whole-line events")
         if self.kind == FaultType.STUCK_AT and self.period:
             raise ValueError("stuck-at faults are permanent; period applies to bit-flips")
+        if self.spatial == SpatialMode.IID:
+            if self.cluster_size:
+                raise ValueError("cluster_size applies to clustered/row-burst "
+                                 "masks; IID placement takes none")
+        elif self.cluster_size < 1:
+            raise ValueError(f"{self.spatial.value} placement needs "
+                             f"cluster_size >= 1, got {self.cluster_size}")
+        if self.layers is not None:
+            if (isinstance(self.layers, str)
+                    or not all(isinstance(name, str) for name in self.layers)):
+                raise ValueError("layers must be a sequence of layer names")
+            object.__setattr__(self, "layers", tuple(self.layers))
+            if not self.layers:
+                raise ValueError("layers must name at least one layer "
+                                 "(use None for all mapped layers)")
 
     @property
     def effective_semantics(self) -> Semantics:
@@ -129,17 +222,25 @@ class FaultSpec:
 
     @staticmethod
     def bitflip(rate: float, period: int = 0,
-                semantics: Semantics | None = None) -> "FaultSpec":
+                semantics: Semantics | None = None,
+                spatial: SpatialMode = SpatialMode.IID,
+                cluster_size: int = 0,
+                layers: tuple[str, ...] | None = None) -> "FaultSpec":
         """Transient bit-flips at a given injection rate."""
         return FaultSpec(FaultType.BITFLIP, rate=rate, period=period,
-                         semantics=semantics)
+                         semantics=semantics, spatial=spatial,
+                         cluster_size=cluster_size, layers=layers)
 
     @staticmethod
     def stuck_at(rate: float, polarity: StuckPolarity = StuckPolarity.RANDOM,
-                 semantics: Semantics | None = None) -> "FaultSpec":
+                 semantics: Semantics | None = None,
+                 spatial: SpatialMode = SpatialMode.IID,
+                 cluster_size: int = 0,
+                 layers: tuple[str, ...] | None = None) -> "FaultSpec":
         """Permanent stuck-at faults at a given injection rate."""
         return FaultSpec(FaultType.STUCK_AT, rate=rate, polarity=polarity,
-                         semantics=semantics)
+                         semantics=semantics, spatial=spatial,
+                         cluster_size=cluster_size, layers=layers)
 
     @staticmethod
     def faulty_rows(count: int) -> "FaultSpec":

@@ -83,11 +83,22 @@ class FaultGenerator:
 
     def generate(self, model: Sequential,
                  layers: list[str] | None = None) -> FaultPlan:
-        """Draw fresh masks for every (selected) mapped layer."""
+        """Draw fresh masks for every (selected) mapped layer.
+
+        Specs carrying their own ``layers`` restriction (composite plans
+        — e.g. a compiled scenario whose clauses target different layer
+        subsets) only contribute to the masks of the layers they name;
+        specs with ``layers=None`` apply everywhere, as before.  Mask
+        draws happen layer by layer in model order from this generator's
+        single RNG, so a composite plan is as deterministic under its
+        seed as a uniform one.
+        """
         plan: FaultPlan = {}
         for layer in mapped_layers(model, layers):
+            specs = [spec for spec in self.specs
+                     if spec.layers is None or layer.name in spec.layers]
             plan[layer.name] = assemble_layer_masks(
-                self.rows, self.cols, self.specs, self.rng)
+                self.rows, self.cols, specs, self.rng)
         return plan
 
     def mapping_for(self, layer: QuantLayer) -> LayerMapping:

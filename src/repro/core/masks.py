@@ -14,10 +14,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .faults import FaultSpec, FaultType, StuckPolarity
+from .faults import FaultSpec, FaultType, SpatialMode, StuckPolarity
 
 __all__ = ["LayerMasks", "build_bitflip_mask", "build_stuck_mask",
-           "build_line_mask", "assemble_layer_masks"]
+           "build_line_mask", "build_clustered_mask", "build_row_burst_mask",
+           "build_rate_mask", "assemble_layer_masks"]
 
 
 def _exact_count(rate: float, cells: int) -> int:
@@ -36,6 +37,102 @@ def build_bitflip_mask(rows: int, cols: int, rate: float,
     return mask
 
 
+def build_clustered_mask(rows: int, cols: int, rate: float, cluster_size: int,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Spatially-clustered mask: compact neighbourhoods of faulty cells.
+
+    Seed cells are drawn uniformly; each cluster then absorbs the
+    ``cluster_size`` nearest unmarked cells (expanding Chebyshev rings in
+    a fixed scan order), so correlated variation forms contiguous blobs
+    instead of the i.i.d. salt-and-pepper of :func:`build_bitflip_mask`.
+    The injection rate still sets the *exact* total number of faulty
+    cells, preserving the paper's exact-count contract.
+    """
+    if cluster_size < 1:
+        raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
+    mask = np.zeros((rows, cols), dtype=bool)
+    remaining = _exact_count(rate, rows * cols)
+    max_radius = max(rows, cols)
+    while remaining > 0:
+        seed_r = int(rng.integers(rows))
+        seed_c = int(rng.integers(cols))
+        take = min(cluster_size, remaining)
+        for radius in range(max_radius + 1):
+            if take == 0:
+                break
+            r_lo, r_hi = max(0, seed_r - radius), min(rows, seed_r + radius + 1)
+            c_lo, c_hi = max(0, seed_c - radius), min(cols, seed_c + radius + 1)
+            for r in range(r_lo, r_hi):
+                for c in range(c_lo, c_hi):
+                    if take == 0:
+                        break
+                    if max(abs(r - seed_r), abs(c - seed_c)) != radius:
+                        continue  # interior ring cells were already visited
+                    if not mask[r, c]:
+                        mask[r, c] = True
+                        take -= 1
+                        remaining -= 1
+    return mask
+
+
+def build_row_burst_mask(rows: int, cols: int, rate: float, burst_rows: int,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Row-burst mask: faults fill bands of consecutive crossbar rows.
+
+    Models a degrading row driver taking its neighbouring word lines with
+    it: each burst starts at a uniformly drawn row and fills
+    ``burst_rows`` consecutive rows cell-by-cell (left to right) until
+    the exact injection count is placed.  Fully saturated bursts fall
+    back to the first unmarked cell in scan order, so the count contract
+    holds at any rate up to 1.
+    """
+    if burst_rows < 1:
+        raise ValueError(f"burst_rows must be >= 1, got {burst_rows}")
+    mask = np.zeros((rows, cols), dtype=bool)
+    remaining = _exact_count(rate, rows * cols)
+    while remaining > 0:
+        start = int(rng.integers(rows))
+        placed = False
+        for r in range(start, min(start + burst_rows, rows)):
+            for c in range(cols):
+                if remaining == 0:
+                    break
+                if not mask[r, c]:
+                    mask[r, c] = True
+                    remaining -= 1
+                    placed = True
+        if not placed and remaining > 0:
+            # the drawn burst was already saturated: place on the first
+            # unmarked cell so high rates always terminate
+            flat = np.flatnonzero(~mask.reshape(-1))
+            mask.reshape(-1)[flat[0]] = True
+            remaining -= 1
+    return mask
+
+
+def build_rate_mask(rows: int, cols: int, spec: FaultSpec,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Mask for one rate-based spec, honouring its spatial mode."""
+    if spec.spatial == SpatialMode.CLUSTERED:
+        return build_clustered_mask(rows, cols, spec.rate, spec.cluster_size,
+                                    rng)
+    if spec.spatial == SpatialMode.ROW_BURST:
+        return build_row_burst_mask(rows, cols, spec.rate, spec.cluster_size,
+                                    rng)
+    return build_bitflip_mask(rows, cols, spec.rate, rng)
+
+
+def _stuck_values(mask: np.ndarray, polarity: StuckPolarity,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Frozen {0, 1} levels for the set cells of a stuck mask."""
+    values = np.zeros(mask.shape, dtype=np.uint8)
+    if polarity == StuckPolarity.RANDOM:
+        values[mask] = rng.integers(0, 2, size=int(mask.sum()), dtype=np.uint8)
+    else:
+        values[mask] = polarity.value
+    return values
+
+
 def build_stuck_mask(rows: int, cols: int, rate: float,
                      polarity: StuckPolarity,
                      rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
@@ -45,12 +142,7 @@ def build_stuck_mask(rows: int, cols: int, rate: float,
     meaningful where ``mask`` is set).
     """
     mask = build_bitflip_mask(rows, cols, rate, rng)
-    values = np.zeros((rows, cols), dtype=np.uint8)
-    if polarity == StuckPolarity.RANDOM:
-        values[mask] = rng.integers(0, 2, size=int(mask.sum()), dtype=np.uint8)
-    else:
-        values[mask] = polarity.value
-    return mask, values
+    return mask, _stuck_values(mask, polarity, rng)
 
 
 def build_line_mask(rows: int, cols: int, kind: FaultType, count: int,
@@ -132,7 +224,7 @@ def assemble_layer_masks(rows: int, cols: int, specs: list[FaultSpec],
     masks = LayerMasks(rows=rows, cols=cols)
     for spec in specs:
         if spec.kind == FaultType.BITFLIP:
-            masks.flip_mask |= build_bitflip_mask(rows, cols, spec.rate, rng)
+            masks.flip_mask |= build_rate_mask(rows, cols, spec, rng)
             if spec.period > 1:
                 masks.flip_period = spec.period
             masks.flip_semantics = spec.effective_semantics.value
@@ -140,7 +232,8 @@ def assemble_layer_masks(rows: int, cols: int, specs: list[FaultSpec],
             masks.flip_mask |= build_line_mask(rows, cols, spec.kind, spec.count, rng)
             masks.flip_semantics = spec.effective_semantics.value
         elif spec.kind == FaultType.STUCK_AT:
-            mask, values = build_stuck_mask(rows, cols, spec.rate, spec.polarity, rng)
+            mask = build_rate_mask(rows, cols, spec, rng)
+            values = _stuck_values(mask, spec.polarity, rng)
             masks.stuck_mask |= mask
             masks.stuck_values[mask] = values[mask]
             masks.stuck_semantics = spec.effective_semantics.value

@@ -1,8 +1,11 @@
-"""Per-figure experiment runners (the paper's §IV evaluation)."""
+"""Per-figure experiment runners (the paper's §IV evaluation, plus the
+scenario-platform lifetime trajectories)."""
 
-from . import common, fig4, fig5, tables
+from . import common, fig4, fig5, lifetime, tables
 from .common import (get_imagenet, get_mnist, trained_lenet,
                      trained_zoo_model)
+from .lifetime import run_lifetime_trajectory, trajectory_series
 
-__all__ = ["common", "fig4", "fig5", "tables",
-           "get_mnist", "get_imagenet", "trained_lenet", "trained_zoo_model"]
+__all__ = ["common", "fig4", "fig5", "lifetime", "tables",
+           "get_mnist", "get_imagenet", "trained_lenet", "trained_zoo_model",
+           "run_lifetime_trajectory", "trajectory_series"]

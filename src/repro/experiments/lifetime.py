@@ -1,0 +1,49 @@
+"""Lifetime-trajectory experiment driver (the scenario-platform figure).
+
+Where :mod:`repro.experiments.fig4` reproduces the paper's single-axis
+sweeps, this driver runs a declarative scenario
+(:mod:`repro.scenarios`) and returns the accuracy-over-device-age
+trajectory — the figure an operator reads to schedule replacement or
+mitigation.  Engine options (executor / n_jobs / backend) pass straight
+through and stay bit-identical under fixed seeds.
+"""
+
+from __future__ import annotations
+
+from ..data import Dataset
+from ..nn.model import Sequential
+from ..scenarios import ScenarioResult, run_scenario
+
+__all__ = ["run_lifetime_trajectory", "trajectory_series"]
+
+
+def run_lifetime_trajectory(model: Sequential, test: Dataset,
+                            scenario: str | object = "end-of-life",
+                            repeats: int = 3, rows: int = 40, cols: int = 10,
+                            seed: int = 0,
+                            executor: str | object = "serial",
+                            n_jobs: int | None = None,
+                            backend: str = "float") -> ScenarioResult:
+    """Run ``scenario`` (zoo name, spec path, or Scenario) on a model.
+
+    Returns the full :class:`~repro.scenarios.ScenarioResult`; use
+    :func:`trajectory_series` for the plottable (ages, accuracies)
+    series per environment.
+    """
+    return run_scenario(scenario, model, test.x, test.y, repeats=repeats,
+                        seed=seed, rows=rows, cols=cols, executor=executor,
+                        n_jobs=n_jobs, backend=backend)
+
+
+def trajectory_series(result: ScenarioResult
+                      ) -> dict[str, tuple[list[float], list[float]]]:
+    """Per-environment ``(ages, accuracy%)`` series for plotting, plus a
+    duty-weighted ``"blended"`` series when several environments exist."""
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    for episode in result.episodes:
+        series[episode] = (list(result.ages),
+                           [100 * a for a in result.trajectory(episode)])
+    if len(result.episodes) > 1:
+        series["blended"] = (list(result.ages),
+                             [100 * a for a in result.blended_trajectory()])
+    return series

@@ -56,6 +56,16 @@ class EnduranceModel:
         rate = self.upset_rate_per_cycle * cycles_per_inference
         return float(1.0 - np.exp(-rate))
 
+    def rates_at(self, age: float,
+                 cycles_per_inference: float) -> "LifetimePoint":
+        """Both fault rates at one device age — the single call the
+        scenario compiler (:mod:`repro.scenarios`) consumes to drive
+        ``FaultSpec`` rates through the lifetime curves."""
+        return LifetimePoint(
+            cycles=age,
+            stuck_rate=self.stuck_fraction(age),
+            bitflip_rate=self.upset_probability(cycles_per_inference))
+
 
 @dataclass(frozen=True)
 class LifetimePoint:
@@ -78,10 +88,5 @@ def lifetime_fault_rates(model_cycles_per_inference: float,
     """
     if endurance is None:
         endurance = EnduranceModel()
-    points = []
-    for age in ages:
-        points.append(LifetimePoint(
-            cycles=age,
-            stuck_rate=endurance.stuck_fraction(age),
-            bitflip_rate=endurance.upset_probability(model_cycles_per_inference)))
-    return points
+    return [endurance.rates_at(age, model_cycles_per_inference)
+            for age in ages]

@@ -1,0 +1,162 @@
+"""The scenario zoo: named lifetime/environment stories, ready to run.
+
+Six canonical stories cover the paper's fault vocabulary composed over
+time and environment (plus the spatially-correlated placement the
+variation-attack literature shows behaves qualitatively differently from
+i.i.d. masks).  Each entry is a builder so every
+:func:`get_scenario` call returns a fresh, immutable
+:class:`~repro.scenarios.spec.Scenario`.
+
+=========================  =================================================
+name                       story
+=========================  =================================================
+fresh-device               early life: endurance faults are negligible,
+                           only the ambient transient-upset floor exists
+mid-life-drift             temporal variation accumulates stuck cells
+                           through mid-life (i.i.d. placement)
+end-of-life                wear-out regime around and past the mean
+                           endurance, plus a transient background
+seu-storm                  a radiation episode: dynamic bit-flip bursts
+                           active for a duty fraction of inferences
+clustered-variation-attack accelerated, spatially-clustered stuck cells
+                           (correlated variation / targeted stress)
+row-driver-failure         structural decay: whole crossbar rows drop out
+                           as drivers fail, with a row-burst prelude
+=========================  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..lim.reliability import EnduranceModel
+from .spec import Episode, FaultClause, Scenario, ScenarioError, Timeline
+
+__all__ = ["SCENARIO_BUILDERS", "get_scenario", "scenario_names"]
+
+#: shared reference device: 1e8-cycle Weibull wear-out endurance with a
+#: small ambient upset floor (see repro.lim.reliability)
+_DEVICE = dict(mean_cycles=1e8, shape=2.0, upset_rate_per_cycle=1e-10)
+#: crossbar switching activity per inference (IMPLY program ~11 writes
+#: per XNOR times the scheduler's cell reuse; see
+#: examples/lifetime_reliability.py)
+_CYCLES_PER_INFERENCE = 5500.0
+
+
+def _timeline(ages, **device) -> Timeline:
+    return Timeline(ages=tuple(ages),
+                    cycles_per_inference=_CYCLES_PER_INFERENCE,
+                    endurance=EnduranceModel(**{**_DEVICE, **device}))
+
+
+def _fresh_device() -> Scenario:
+    return Scenario(
+        name="fresh-device",
+        description="Early life: wear-out is negligible; only the ambient "
+                    "transient-upset floor is active.",
+        timeline=_timeline((0.0, 1e6, 5e6)),
+        clauses=(
+            FaultClause(kind="stuck_at", rate="lifetime-stuck"),
+            FaultClause(kind="bitflip", rate="lifetime-upset"),
+        ))
+
+
+def _mid_life_drift() -> Scenario:
+    return Scenario(
+        name="mid-life-drift",
+        description="Temporal variation accumulates i.i.d. stuck cells "
+                    "through mid-life; transients stay at the ambient "
+                    "floor.",
+        timeline=_timeline((1e7, 2e7, 3e7, 4e7, 5e7)),
+        clauses=(
+            FaultClause(kind="stuck_at", rate="lifetime-stuck"),
+            FaultClause(kind="bitflip", rate="lifetime-upset"),
+        ))
+
+
+def _end_of_life() -> Scenario:
+    return Scenario(
+        name="end-of-life",
+        description="Wear-out regime around and past the mean endurance: "
+                    "the stuck fraction follows the Weibull CDF into "
+                    "failure, over a constant transient background.",
+        timeline=_timeline((2e7, 5e7, 8e7, 1.1e8, 1.4e8)),
+        clauses=(
+            FaultClause(kind="stuck_at", rate="lifetime-stuck"),
+            FaultClause(kind="bitflip", rate=0.01),
+        ))
+
+
+def _seu_storm() -> Scenario:
+    return Scenario(
+        name="seu-storm",
+        description="A radiation episode on a young device: for a tenth "
+                    "of the workload, dynamic single-event upsets flip "
+                    "5% of cells every 2nd XNOR operation.",
+        timeline=_timeline((1e7, 3e7)),
+        clauses=(
+            FaultClause(kind="stuck_at", rate="lifetime-stuck"),
+        ),
+        episodes=(
+            Episode(name="storm", duty=0.1, clauses=(
+                FaultClause(kind="bitflip", rate=0.05, period=2),
+            )),
+        ))
+
+
+def _clustered_variation_attack() -> Scenario:
+    return Scenario(
+        name="clustered-variation-attack",
+        description="Accelerated, spatially-clustered stuck cells — the "
+                    "correlated-variation regime (arXiv:2302.09902) where "
+                    "equal rates hit harder than i.i.d. placement.",
+        timeline=_timeline((2e7, 4e7, 6e7)),
+        clauses=(
+            FaultClause(kind="stuck_at", rate="lifetime-stuck", scale=2.0,
+                        spatial="clustered", cluster_size=8),
+            FaultClause(kind="bitflip", rate="lifetime-upset"),
+        ))
+
+
+def _row_driver_failure() -> Scenario:
+    return Scenario(
+        name="row-driver-failure",
+        description="Structural decay: whole crossbar rows drop out as "
+                    "drivers fail (count follows the wear curve), after "
+                    "a row-burst prelude of weak cells.",
+        timeline=_timeline((2e7, 6e7, 1e8)),
+        clauses=(
+            FaultClause(kind="faulty_rows", count="lifetime", scale=0.5),
+            FaultClause(kind="stuck_at", rate="lifetime-stuck", scale=0.5,
+                        spatial="row_burst", cluster_size=2),
+        ))
+
+
+SCENARIO_BUILDERS: dict[str, Callable[[], Scenario]] = {
+    "fresh-device": _fresh_device,
+    "mid-life-drift": _mid_life_drift,
+    "end-of-life": _end_of_life,
+    "seu-storm": _seu_storm,
+    "clustered-variation-attack": _clustered_variation_attack,
+    "row-driver-failure": _row_driver_failure,
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered zoo scenario names, in registry order."""
+    return list(SCENARIO_BUILDERS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """A fresh :class:`Scenario` for a zoo name.
+
+    Raises
+    ------
+    ScenarioError
+        If ``name`` is not registered (the CLI maps this to exit 2).
+    """
+    builder = SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        raise ScenarioError(f"unknown scenario {name!r}; "
+                            f"available: {scenario_names()}")
+    return builder()

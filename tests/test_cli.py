@@ -123,3 +123,93 @@ def test_sweep_shared_memory_executor_smoke(capsys, tmp_path):
                         "--jobs", "2", "--executor", "shared_memory")
     assert code == 0
     assert "[shared_memory/float]" in out
+
+
+def test_scenarios_list(capsys):
+    code, out = run_cli(capsys, "scenarios", "list")
+    assert code == 0
+    for name in ("fresh-device", "mid-life-drift", "end-of-life",
+                 "seu-storm", "clustered-variation-attack",
+                 "row-driver-failure"):
+        assert name in out
+
+
+def test_scenarios_run_requires_a_scenario(capsys):
+    code = main(["scenarios", "run"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "scenarios list" in captured.err
+
+
+def test_scenarios_run_unknown_zoo_name(capsys):
+    code = main(["scenarios", "run", "mid-life-crisis"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown scenario" in captured.err
+
+
+def test_scenarios_run_malformed_spec_file(capsys, tmp_path):
+    path = tmp_path / "broken.yaml"
+    path.write_text("{unclosed")
+    code = main(["scenarios", "run", "--spec", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+
+
+def test_scenarios_run_spec_with_unknown_keys(capsys, tmp_path):
+    path = tmp_path / "typo.json"
+    path.write_text('{"name": "t", "timeline": {"ages": [0.0]}, '
+                    '"clauses": [{"kind": "bitflip", "rate": 0.1}], '
+                    '"sauces": []}')
+    code = main(["scenarios", "run", "--spec", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown key" in captured.err
+
+
+def test_scenarios_run_smoke_and_journal_guards(capsys, tmp_path):
+    """End-to-end scenario run + the journal exit-2 contract."""
+    journal = str(tmp_path / "scenario.jsonl")
+    argv = ["scenarios", "run", "fresh-device", "--images", "60",
+            "--repeats", "1", "--rows", "8", "--cols", "4",
+            "--journal", journal]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "fresh-device" in out
+    assert "baseline:" in out
+    assert "0 cells resumed" in out
+
+    # reusing a journal requires --resume ...
+    code, _ = run_cli(capsys, *argv)
+    assert code == 2
+
+    # ... and a journal written for a *different* scenario is refused
+    code = main(["scenarios", "run", "end-of-life", "--images", "60",
+                 "--repeats", "1", "--rows", "8", "--cols", "4",
+                 "--journal", journal, "--resume"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "different campaign" in captured.err
+
+    # the matching scenario replays the completed journal instantly
+    code, out = run_cli(capsys, *argv, "--resume")
+    assert code == 0
+    assert "3 cells resumed" in out
+
+
+def test_scenarios_run_resume_requires_journal(capsys):
+    code = main(["scenarios", "run", "fresh-device", "--resume"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--journal" in captured.err
+
+
+def test_scenarios_run_rejects_name_plus_spec(capsys, tmp_path):
+    path = tmp_path / "story.json"
+    path.write_text('{"name": "s", "timeline": {"ages": [0.0]}, '
+                    '"clauses": [{"kind": "bitflip", "rate": 0.1}]}')
+    code = main(["scenarios", "run", "end-of-life", "--spec", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "pick one" in captured.err

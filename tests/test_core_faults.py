@@ -64,3 +64,62 @@ def test_specs_are_frozen():
     spec = FaultSpec.bitflip(0.1)
     with pytest.raises(AttributeError):
         spec.rate = 0.5
+
+
+def test_rate_must_be_finite_number():
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(float("nan"))
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(float("inf"))
+    with pytest.raises(ValueError):
+        FaultSpec(FaultType.BITFLIP, rate="0.1")
+
+
+def test_count_and_period_must_be_integers():
+    with pytest.raises(ValueError):
+        FaultSpec(FaultType.BITFLIP, rate=0.1, period=2.5)
+    with pytest.raises(ValueError):
+        FaultSpec(FaultType.FAULTY_ROWS, count=1.5)
+    # integer-valued numpy scalars are fine (sweep axes produce them)
+    import numpy as np
+    assert FaultSpec(FaultType.BITFLIP, rate=0.1,
+                     period=np.int64(3)).period == 3
+
+
+def test_spatial_mode_validation():
+    from repro.core import SpatialMode
+    spec = FaultSpec.stuck_at(0.1, spatial=SpatialMode.CLUSTERED,
+                              cluster_size=4)
+    assert spec.cluster_size == 4
+    with pytest.raises(ValueError):
+        FaultSpec.stuck_at(0.1, spatial=SpatialMode.CLUSTERED)  # no size
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(0.1, cluster_size=4)  # size without a mode
+    with pytest.raises(ValueError):
+        FaultSpec(FaultType.FAULTY_ROWS, count=2,
+                  spatial=SpatialMode.ROW_BURST, cluster_size=2)
+
+
+def test_layer_targeting_validation():
+    spec = FaultSpec.bitflip(0.1, layers=["conv1", "dense1"])
+    assert spec.layers == ("conv1", "dense1")  # normalized to a tuple
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(0.1, layers=())
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(0.1, layers="conv1")  # a bare string is a bug
+
+
+def test_enum_fields_coerce_from_string_values():
+    """spatial='clustered' must mean clustered — never a silent i.i.d.
+    fallback (and bad strings must fail loudly)."""
+    from repro.core import SpatialMode
+    spec = FaultSpec.stuck_at(0.2, spatial="clustered", cluster_size=6)
+    assert spec.spatial is SpatialMode.CLUSTERED
+    assert FaultSpec.bitflip(0.1, spatial="iid").spatial is SpatialMode.IID
+    assert FaultSpec("bitflip", rate=0.1).kind is FaultType.BITFLIP
+    assert FaultSpec.bitflip(0.1, semantics="product").effective_semantics \
+        is Semantics.PRODUCT
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(0.1, spatial="fractal")
+    with pytest.raises(ValueError):
+        FaultSpec.bitflip(0.1, semantics="outputs")

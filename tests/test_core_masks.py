@@ -27,7 +27,7 @@ def test_bitflip_mask_zero_and_full(rng):
 def test_property_bitflip_count_matches_rate(rows, cols, rate, seed):
     rng = np.random.default_rng(seed)
     mask = build_bitflip_mask(rows, cols, rate, rng)
-    assert mask.sum() == int(round(rate * rows * cols))
+    assert mask.sum() == int(round(rate * (rows * cols)))
 
 
 def test_bitflip_mask_positions_vary_with_seed():
@@ -100,3 +100,83 @@ def test_vectors_flatten_row_major(rng):
     sm, sv = masks.stuck_vectors()
     assert sm.shape == (12,)
     assert sv.shape == (12,)
+
+
+# -- spatially correlated masks (scenario subsystem, PR 4) ----------------
+
+def _adjacency_fraction(mask):
+    """Fraction of set cells with at least one set 4-neighbour."""
+    padded = np.pad(mask, 1)
+    neighbours = (padded[:-2, 1:-1] | padded[2:, 1:-1]
+                  | padded[1:-1, :-2] | padded[1:-1, 2:])
+    set_cells = int(mask.sum())
+    return (mask & neighbours).sum() / set_cells if set_cells else 0.0
+
+
+def test_clustered_mask_exact_count_and_clustering():
+    from repro.core import build_bitflip_mask, build_clustered_mask
+    rng = np.random.default_rng(7)
+    clustered = build_clustered_mask(40, 10, 0.1, cluster_size=8, rng=rng)
+    assert clustered.sum() == 40  # round(0.1 * 400), the paper's contract
+    iid = build_bitflip_mask(40, 10, 0.1, np.random.default_rng(7))
+    assert _adjacency_fraction(clustered) > _adjacency_fraction(iid)
+
+
+@given(st.integers(2, 20), st.integers(2, 20),
+       st.floats(0.0, 1.0, allow_nan=False), st.integers(1, 9),
+       st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_property_clustered_count_matches_rate(rows, cols, rate, size, seed):
+    from repro.core import build_clustered_mask
+    rng = np.random.default_rng(seed)
+    mask = build_clustered_mask(rows, cols, rate, size, rng)
+    assert mask.sum() == int(round(rate * (rows * cols)))
+
+
+@given(st.integers(2, 20), st.integers(2, 20),
+       st.floats(0.0, 1.0, allow_nan=False), st.integers(1, 6),
+       st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_property_row_burst_count_matches_rate(rows, cols, rate, burst, seed):
+    from repro.core import build_row_burst_mask
+    rng = np.random.default_rng(seed)
+    mask = build_row_burst_mask(rows, cols, rate, burst, rng)
+    assert mask.sum() == int(round(rate * (rows * cols)))
+
+
+def test_row_burst_mask_fills_consecutive_rows():
+    from repro.core import build_row_burst_mask
+    rng = np.random.default_rng(3)
+    # one burst of exactly 2 rows: 2 * cols cells at the matching rate
+    mask = build_row_burst_mask(10, 4, 0.2, burst_rows=2, rng=rng)
+    assert mask.sum() == 8
+    full_rows = np.flatnonzero(mask.all(axis=1))
+    assert len(full_rows) == 2
+    assert full_rows[1] == full_rows[0] + 1
+
+
+def test_correlated_builders_deterministic_under_seed():
+    from repro.core import build_clustered_mask, build_row_burst_mask
+    for build, kwargs in [(build_clustered_mask, dict(cluster_size=5)),
+                          (build_row_burst_mask, dict(burst_rows=3))]:
+        a = build(24, 12, 0.3, rng=np.random.default_rng(11), **kwargs)
+        b = build(24, 12, 0.3, rng=np.random.default_rng(11), **kwargs)
+        np.testing.assert_array_equal(a, b)
+
+
+def test_correlated_builders_reject_bad_cluster_size():
+    from repro.core import build_clustered_mask, build_row_burst_mask
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        build_clustered_mask(8, 8, 0.1, 0, rng)
+    with pytest.raises(ValueError):
+        build_row_burst_mask(8, 8, 0.1, 0, rng)
+
+
+def test_assemble_honours_spatial_mode(rng):
+    from repro.core import SpatialMode
+    specs = [FaultSpec.stuck_at(0.2, spatial=SpatialMode.CLUSTERED,
+                                cluster_size=6)]
+    masks = assemble_layer_masks(20, 10, specs, rng)
+    assert masks.stuck_mask.sum() == 40
+    assert _adjacency_fraction(masks.stuck_mask) > 0.5

@@ -241,3 +241,27 @@ def test_output_level_abstraction_diverges_but_correlates(rng):
         fast = model.predict(x)
     assert not np.array_equal(fast, clean)
     assert np.abs(fast).max() <= layer.reduction_length()
+
+
+def test_scenario_grid_bit_identical_across_executors_and_backends(rng):
+    """A compiled scenario is engine cargo: same seed -> bit-identical
+    trajectories for shared_memory/packed vs serial/float (PR 4)."""
+    from repro.scenarios import (Episode, FaultClause, Scenario, Timeline,
+                                 run_scenario)
+
+    scenario = Scenario(
+        name="equivalence-story",
+        timeline=Timeline(ages=(0.0, 5e7, 1.2e8)),
+        clauses=(FaultClause(kind="stuck_at", rate="lifetime-stuck",
+                             spatial="clustered", cluster_size=3),),
+        episodes=(Episode(name="storm", duty=0.2, clauses=(
+            FaultClause(kind="bitflip", rate=0.2, period=2),)),))
+    model = one_layer_dense_model()
+    x = rng.standard_normal((64, 14)).astype(np.float32)
+    y = rng.integers(0, 5, size=64)
+    kwargs = dict(repeats=2, seed=9, rows=ROWS, cols=COLS)
+    serial = run_scenario(scenario, model, x, y, **kwargs)
+    pooled = run_scenario(scenario, model, x, y, executor="shared_memory",
+                          n_jobs=2, backend="packed", **kwargs)
+    np.testing.assert_array_equal(serial.accuracies, pooled.accuracies)
+    assert serial.baseline == pooled.baseline
