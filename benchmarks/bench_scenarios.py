@@ -13,7 +13,11 @@ wholesale.  Also measures:
   absolute accuracy gap, the quantity the spatial-correlation literature
   (arXiv:2302.09902) shows is non-zero;
 * **journal round-trip** — a journaled scenario run resumed from a
-  completed journal must replay bit-identically with zero evaluations.
+  completed journal must replay bit-identically with zero evaluations;
+* **API-layer parity** — the registered ``end-of-life`` entry
+  (``repro.api``) must stream exactly one ``CellDone`` event per grid
+  cell plus one ``CheckpointDone`` per device age, and reproduce the
+  direct ``run_scenario`` trajectory bit-for-bit.
 
 Usage::
 
@@ -141,6 +145,29 @@ def main(argv=None) -> int:
     print(f"journaled serial/float     : {journal_time:7.2f} s "
           f"(full resume {resume_time:.3f} s)")
 
+    # API-layer parity: the registered entry streams typed events over
+    # the same engine and must not change a single number
+    from repro import api
+    events: list = []
+    handle = api.submit(api.RunRequest(
+        "end-of-life", params={"repeats": repeats, "images": images}))
+    handle.subscribe(events.append)
+    api_report, api_time = timed(handle.run)
+    timings["api_run"] = api_time
+    cell_events = sum(isinstance(e, api.CellDone) for e in events)
+    checkpoint_events = sum(isinstance(e, api.CheckpointDone)
+                            for e in events)
+    expected_cells = len(grid.cells) * repeats
+    api_identical = (
+        np.array_equal(api_report.raw.accuracies, reference.accuracies)
+        and cell_events == expected_cells
+        and checkpoint_events == grid.n_checkpoints)
+    if not api_identical:
+        mismatches.append("api_run")
+    print(f"api end-of-life entry      : {api_time:7.2f} s  "
+          f"({cell_events} CellDone, {checkpoint_events} CheckpointDone, "
+          f"bit-identical={api_identical})")
+
     report = {
         "protocol": {"scenario": "end-of-life", "cells": len(grid.cells),
                      "repeats": repeats, "images": images, "seed": seed,
@@ -160,6 +187,11 @@ def main(argv=None) -> int:
             "scenario": "clustered-variation-attack",
             "mean_abs_gap": round(float(gap.mean()), 6),
             "max_abs_gap": round(float(gap.max()), 6),
+        },
+        "api": {
+            "cell_events": cell_events,
+            "checkpoint_events": checkpoint_events,
+            "bit_identical": api_identical,
         },
         "n_jobs": n_jobs,
         "bit_identical": not mismatches,

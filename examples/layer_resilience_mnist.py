@@ -1,44 +1,50 @@
 """Layer-resilience study on binary LeNet — the paper's Fig. 4a/4b in small.
 
-Trains (or loads) the binary LeNet on synthetic MNIST, then sweeps
-bit-flip and stuck-at injection rates per mapped layer (conv1, conv2,
-dense0, dense1) and combined, printing the accuracy series and an ASCII
-rendition of the two figures.
+Runs the registered ``fig4a`` (bit-flip) and ``fig4b`` (stuck-at)
+experiments through the typed :mod:`repro.api` surface: one
+``RunRequest`` per figure, per-cell progress consumed from the typed
+event stream, and the plotted series read off the normalized
+``RunReport`` (the trained LeNet + synthetic MNIST are resolved by the
+registry entries themselves).
 
 Run:  python examples/layer_resilience_mnist.py
 """
 
+from repro import api
 from repro.analysis import ascii_plot
-from repro.experiments import fig4, get_mnist, trained_lenet
 
-RATES = (0.0, 0.1, 0.2, 0.3)
-REPEATS = 3
-TEST_IMAGES = 300
+PARAMS = {"rates": [0.0, 0.1, 0.2, 0.3], "repeats": 3, "images": 300}
 
 
-def show(title, results):
+def on_event(event):
+    if isinstance(event, api.CellDone):
+        print(f"  [{event.done}/{event.total}] {event.series}: "
+              f"{100 * event.accuracy:.1f}%", end="\r")
+    elif isinstance(event, api.RunWarning):
+        print(f"  warning: {event.message}")
+
+
+def show(title, report):
     print(f"\n=== {title} ===")
     series = {}
-    for label, result in results.items():
-        series[label] = (result.xs, [100 * m for m in result.mean()])
+    for curve in report.series:
+        series[curve.label] = (curve.xs, [100 * m for m in curve.mean])
         points = ", ".join(f"{x:.0%}:{100 * m:.0f}%"
-                           for x, m in zip(result.xs, result.mean()))
-        print(f"  {label:9s} {points}")
+                           for x, m in zip(curve.xs, curve.mean))
+        print(f"  {curve.label:9s} {points}")
     print(ascii_plot(series, title=title, x_label="injection rate",
                      y_label="accuracy %", y_range=(0, 100)))
 
 
 def main():
+    print("experiments registered:", ", ".join(api.experiment_names()))
     print("loading/training binary LeNet on synthetic MNIST...")
-    model = trained_lenet()
-    _, test = get_mnist()
-    test = test.subset(TEST_IMAGES)
-    print(f"baseline accuracy: {model.evaluate(test.x, test.y):.1%}")
 
-    bitflips = fig4.run_fig4a(model, test, rates=RATES, repeats=REPEATS)
+    bitflips = api.run("fig4a", params=PARAMS, on_event=on_event)
+    print(f"baseline accuracy: {bitflips.baseline:.1%}")
     show("bit-flips per layer (Fig. 4a)", bitflips)
 
-    stuck = fig4.run_fig4b(model, test, rates=RATES, repeats=REPEATS)
+    stuck = api.run("fig4b", params=PARAMS, on_event=on_event)
     show("stuck-at per layer (Fig. 4b)", stuck)
 
     print("\nkey observation (paper §IV): stuck-at faults impact the model "

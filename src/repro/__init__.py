@@ -11,6 +11,7 @@ Subpackages
 ``repro.binary``      binarized layers + quantizers (Larq substitute)
 ``repro.lim``         memristive crossbar substrate + device-level X-Fault
 ``repro.core``        FLIM: fault generator, masks, vectors, injector
+``repro.api``         typed experiment registry + streaming run handles
 ``repro.scenarios``   declarative lifetime/environment fault scenarios
 ``repro.models``      binary LeNet + the 9 Table-II architectures (scaled)
 ``repro.data``        synthetic MNIST / ImageNet stand-ins

@@ -1,0 +1,57 @@
+"""Once-per-process deprecation plumbing for legacy entry points.
+
+The typed :mod:`repro.api` surface replaces the free-function drivers
+(``run_fig4a``, ``run_fig5a``, ``scenarios.run_scenario``) and the
+ad-hoc CLI subcommands (``repro sweep``, ``repro scenarios run``).  The
+old entry points keep working as thin shims, but each one announces its
+registry equivalent exactly once per process via
+:class:`DeprecationWarning` — noisy enough to notice, quiet enough not
+to flood a hundred-repetition campaign log.
+
+This module lives at the package root (no imports beyond the standard
+library) so both ``repro.experiments`` and ``repro.api`` can use it
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+__all__ = ["warn_legacy", "legacy", "reset_legacy_warnings"]
+
+#: entry points that already warned in this process
+_WARNED: set[str] = set()
+
+
+def warn_legacy(name: str, replacement: str) -> None:
+    """Emit one :class:`DeprecationWarning` per process for ``name``."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead (see docs/api.md)",
+        DeprecationWarning, stacklevel=3)
+
+
+def legacy(replacement: str):
+    """Decorator marking a function as a legacy entry point.
+
+    The wrapper warns (once per process) and delegates; the undecorated
+    implementation stays reachable as ``func.__wrapped__`` so the
+    :mod:`repro.api` catalog can call the *identical* code path without
+    triggering the warning — registry results are bit-identical to the
+    legacy drivers by construction, not by re-implementation.
+    """
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            warn_legacy(func.__name__, replacement)
+            return func(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which warnings fired (test helper)."""
+    _WARNED.clear()

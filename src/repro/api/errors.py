@@ -1,0 +1,17 @@
+"""The one exception type of the :mod:`repro.api` surface.
+
+Every *user-input* problem — unknown experiment name, unknown or
+malformed parameter, invalid engine option, a journal that must not be
+overwritten — raises :class:`ApiError`.  It subclasses
+:class:`ValueError` so it folds into the repository-wide convention the
+CLI relies on: validation errors exit with status 2, runtime failures
+with status 1.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ApiError"]
+
+
+class ApiError(ValueError):
+    """A request to the experiment registry is malformed."""

@@ -1,0 +1,87 @@
+"""Typed events streamed by a :class:`~repro.api.handle.RunHandle`.
+
+One experiment run emits a single ordered stream that every consumer —
+CLI progress renderer, journals, benchmarks, tests — reads the same
+way:
+
+``RunStarted``
+    Emitted once, before any evaluation.
+``CellDone``
+    One fresh campaign-grid cell finished.  ``done``/``total`` count
+    cells *within the named series* (a Fig. 4 layer curve, a Fig. 5
+    model, a scenario grid); cells replayed from a resumed journal are
+    never re-emitted, matching the engine's ``progress`` contract.
+``CheckpointDone``
+    Scenario runs only: every cell of one device-age checkpoint
+    (all episodes × repetitions) has completed.
+``RunWarning``
+    A non-fatal condition worth surfacing — e.g. a pool executor
+    falling back to the in-process serial loop because the job grid
+    cannot use its workers.
+``RunFinished``
+    Emitted once, after the :class:`~repro.api.report.RunReport` is
+    assembled; carries the report.
+
+Events are frozen dataclasses: consumers dispatch on type and read
+fields, nothing mutates mid-stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunEvent", "RunStarted", "CellDone", "CheckpointDone",
+           "RunWarning", "RunFinished"]
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Base class of every streamed event (useful for isinstance gates)."""
+
+
+@dataclass(frozen=True)
+class RunStarted(RunEvent):
+    """The run is about to start evaluating."""
+
+    experiment: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CellDone(RunEvent):
+    """One freshly evaluated campaign cell.
+
+    ``series`` names the curve the cell belongs to (layer, model,
+    scenario); ``done``/``total`` are per-series cell counts; ``point``/
+    ``repeat`` are the cell's grid coordinates; ``accuracy`` its result.
+    """
+
+    series: str
+    done: int
+    total: int
+    point: int
+    repeat: int
+    accuracy: float
+
+
+@dataclass(frozen=True)
+class CheckpointDone(RunEvent):
+    """All cells of one scenario device-age checkpoint completed."""
+
+    index: int
+    total: int
+    age: float
+
+
+@dataclass(frozen=True)
+class RunWarning(RunEvent):
+    """A non-fatal condition the consumer should surface."""
+
+    message: str
+
+
+@dataclass(frozen=True)
+class RunFinished(RunEvent):
+    """The run completed; ``report`` is the assembled RunReport."""
+
+    report: object

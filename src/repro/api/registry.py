@@ -1,0 +1,249 @@
+"""The experiment registry: every workload as one introspectable entry.
+
+An :class:`Experiment` couples a runner function with *declared*,
+typed parameters.  The registry is the single place new workloads plug
+into — the CLI (``repro run/list/describe``), the benchmarks, and the
+docs all read the same metadata, so registering an entry is the whole
+integration:
+
+>>> @experiment("demo", params=[Param("rate", "float", 0.1)])
+... def demo(ctx, rate):
+...     ...
+...     return ctx.report(...)
+
+Runner contract: ``func(ctx, **params)`` where ``ctx`` is the
+:class:`~repro.api.handle.RunContext` (engine options, event emission,
+journal paths) and ``params`` are the fully resolved, validated values.
+The function returns the :class:`~repro.api.report.RunReport` built via
+``ctx.report(...)``.
+
+Validation is strict in the spirit of :mod:`repro.scenarios.spec`:
+duplicate registrations, unknown experiment names, unknown parameters,
+and uncoercible values all raise :class:`~repro.api.errors.ApiError`
+(the CLI maps those to exit status 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from .errors import ApiError
+
+__all__ = ["Param", "Experiment", "ExperimentRegistry", "REGISTRY",
+           "experiment"]
+
+#: scalar coercions per parameter kind
+_SCALARS = {"int": int, "float": float, "str": str}
+#: list kinds and their element coercions
+_LISTS = {"ints": int, "floats": float, "strs": str}
+_BOOL_TRUE = ("true", "1", "yes", "on")
+_BOOL_FALSE = ("false", "0", "no", "off")
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared experiment parameter.
+
+    ``kind`` is one of ``int`` / ``float`` / ``bool`` / ``str`` (scalars)
+    or ``ints`` / ``floats`` / ``strs`` (comma-separated lists on the
+    CLI).  :meth:`parse` coerces both CLI strings and library values;
+    :meth:`format` renders a value back into the exact string
+    ``repro run --param name=value`` accepts, so ``repro describe``
+    output round-trips.
+    """
+
+    name: str
+    kind: str
+    default: object = None
+    help: str = ""
+    choices: tuple | None = None
+
+    def __post_init__(self):
+        if self.kind not in _SCALARS and self.kind not in _LISTS \
+                and self.kind != "bool":
+            raise ApiError(f"param {self.name!r}: unknown kind "
+                           f"{self.kind!r}")
+
+    def parse(self, value):
+        """Coerce ``value`` (CLI string or library object) to this kind."""
+        try:
+            parsed = self._coerce(value)
+        except (TypeError, ValueError):
+            raise ApiError(
+                f"param {self.name!r}: cannot read {value!r} as "
+                f"{self.kind}") from None
+        if self.choices is not None and parsed is not None \
+                and parsed not in self.choices:
+            raise ApiError(f"param {self.name!r}: {parsed!r} is not one of "
+                           f"{list(self.choices)}")
+        return parsed
+
+    def _coerce(self, value):
+        if value is None:
+            return None
+        if self.kind == "bool":
+            if isinstance(value, bool):
+                return value
+            text = str(value).strip().lower()
+            if text in _BOOL_TRUE:
+                return True
+            if text in _BOOL_FALSE:
+                return False
+            raise ValueError(text)
+        if self.kind in _LISTS:
+            element = _LISTS[self.kind]
+            if isinstance(value, str):
+                parts = [part for part in value.split(",") if part != ""]
+                return [element(part) for part in parts]
+            return [element(item) for item in value]
+        return _SCALARS[self.kind](value)
+
+    def format(self, value) -> str:
+        """Render ``value`` as the CLI's ``--param name=value`` text."""
+        if self.kind == "bool":
+            return "true" if value else "false"
+        if self.kind in _LISTS:
+            return ",".join(str(item) for item in value)
+        return str(value)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registry entry: runner + declared parameters + metadata."""
+
+    name: str
+    func: Callable
+    params: tuple[Param, ...] = ()
+    description: str = ""
+    supports_journal: bool = False
+    #: parameter overrides selected by ``RunRequest(quick=True)`` /
+    #: ``repro run --quick`` — the tiny smoke-test configuration
+    quick: Mapping = field(default_factory=dict)
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        declared = {param.name for param in self.params}
+        unknown = sorted(set(self.quick) - declared)
+        if unknown:
+            raise ApiError(f"experiment {self.name!r}: quick overrides "
+                           f"{unknown} are not declared params")
+
+    def param(self, name: str) -> Param:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise ApiError(
+            f"experiment {self.name!r} has no param {name!r}; "
+            f"declared: {[p.name for p in self.params]}")
+
+    def resolve(self, user: Mapping | None, quick: bool = False) -> dict:
+        """Defaults (+ quick overrides), then validated user values."""
+        user = dict(user or {})
+        resolved = {param.name: param.default for param in self.params}
+        if quick:
+            resolved.update(self.quick)
+        declared = {param.name for param in self.params}
+        unknown = sorted(set(user) - declared)
+        if unknown:
+            raise ApiError(
+                f"experiment {self.name!r}: unknown param(s) {unknown}; "
+                f"declared: {sorted(declared)}")
+        for name, value in user.items():
+            resolved[name] = self.param(name).parse(value)
+        return resolved
+
+
+class ExperimentRegistry:
+    """Name → :class:`Experiment` mapping with alias resolution."""
+
+    def __init__(self):
+        self._entries: dict[str, Experiment] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(self, entry: Experiment) -> Experiment:
+        for name in (entry.name, *entry.aliases):
+            if name in self._entries or name in self._aliases:
+                raise ApiError(
+                    f"experiment name {name!r} is already registered; "
+                    "pick a unique name")
+        self._entries[entry.name] = entry
+        for alias in entry.aliases:
+            self._aliases[alias] = entry.name
+        return entry
+
+    def unregister(self, name: str) -> None:
+        canonical = self._aliases.get(name, name)
+        entry = self._entries.pop(canonical, None)
+        if entry is None:
+            raise ApiError(f"unknown experiment {name!r}")
+        for alias in entry.aliases:
+            self._aliases.pop(alias, None)
+
+    def get(self, name: str) -> Experiment:
+        canonical = self._aliases.get(name, name)
+        entry = self._entries.get(canonical)
+        if entry is None:
+            raise ApiError(
+                f"unknown experiment {name!r}; registered: {self.names()} "
+                "(see: repro list)")
+        return entry
+
+    def names(self) -> list[str]:
+        """Sorted canonical names (aliases excluded)."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def describe(self, name: str) -> dict:
+        """JSON-able metadata of one entry (what ``repro describe``
+        prints): declared params with kinds/defaults/help, quick
+        overrides, journal support."""
+        entry = self.get(name)
+        return {
+            "name": entry.name,
+            "aliases": list(entry.aliases),
+            "description": entry.description,
+            "supports_journal": entry.supports_journal,
+            "quick": dict(entry.quick),
+            "params": [
+                {"name": param.name, "kind": param.kind,
+                 "default": param.default, "help": param.help,
+                 **({"choices": list(param.choices)}
+                    if param.choices is not None else {})}
+                for param in entry.params],
+        }
+
+
+#: the process-wide default registry every built-in experiment joins
+REGISTRY = ExperimentRegistry()
+
+
+def experiment(name: str, *, params: Sequence[Param] = (),
+               description: str = "", supports_journal: bool = False,
+               quick: Mapping | None = None, aliases: Sequence[str] = (),
+               registry: ExperimentRegistry | None = None):
+    """Decorator registering a runner function as a named experiment.
+
+    ``description`` defaults to the first line of the function's
+    docstring.  Pass ``registry=`` to register somewhere other than the
+    process-wide :data:`REGISTRY` (tests do).
+    """
+    def decorate(func):
+        doc = (func.__doc__ or "").strip()
+        entry = Experiment(
+            name=name, func=func, params=tuple(params),
+            description=description or (doc.splitlines()[0] if doc else ""),
+            supports_journal=supports_journal,
+            quick=dict(quick or {}), aliases=tuple(aliases))
+        (registry if registry is not None else REGISTRY).register(entry)
+        func.experiment = entry
+        return func
+    return decorate

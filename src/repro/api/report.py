@@ -1,0 +1,131 @@
+"""The typed result half of the API: what a run produced.
+
+A :class:`RunReport` normalizes every experiment's output into one
+schema: per-series sweep curves (:class:`SeriesReport`), free-form
+table payloads (Table I/II, the Fig. 4f runtime comparison), the
+engine/meta bookkeeping, and the artifact paths the run wrote (report
+JSON, journals).  ``raw`` keeps the experiment's native result object
+(:class:`~repro.core.campaign.SweepResult` dicts,
+:class:`~repro.scenarios.run.ScenarioResult`, ...) for callers that
+need exact arrays — it is excluded from serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SeriesReport", "RunReport", "series_from_sweeps"]
+
+#: bump when the serialized layout changes incompatibly
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class SeriesReport:
+    """One plottable curve: the (x, mean, std) triples a figure draws.
+
+    ``baseline`` is this series' own fault-free accuracy — for
+    multi-model experiments (fig5) every model has its own, while
+    :attr:`RunReport.baseline` records only the first series' value as
+    the run-level reference.
+    """
+
+    label: str
+    xs: list[float]
+    mean: list[float]
+    std: list[float]
+    baseline: float | None = None
+
+    def to_dict(self) -> dict:
+        payload = {"label": self.label, "xs": list(self.xs),
+                   "mean": list(self.mean), "std": list(self.std)}
+        if self.baseline is not None:
+            payload["baseline"] = self.baseline
+        return payload
+
+
+@dataclass
+class RunReport:
+    """The normalized result of one experiment run."""
+
+    experiment: str
+    params: dict = field(default_factory=dict)
+    engine: dict = field(default_factory=dict)
+    series: list[SeriesReport] = field(default_factory=list)
+    tables: dict = field(default_factory=dict)
+    baseline: float | None = None
+    meta: dict = field(default_factory=dict)
+    artifacts: dict = field(default_factory=dict)
+    #: the experiment's native result object (not serialized)
+    raw: object = field(default=None, repr=False, compare=False)
+
+    def series_labels(self) -> list[str]:
+        return [series.label for series in self.series]
+
+    def get_series(self, label: str) -> SeriesReport:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series {label!r}; have {self.series_labels()}")
+
+    def to_dict(self) -> dict:
+        """JSON-able form (``raw`` excluded)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "params": _jsonable(self.params),
+            "engine": _jsonable(self.engine),
+            "baseline": self.baseline,
+            "series": [series.to_dict() for series in self.series],
+            "tables": _jsonable(self.tables),
+            "meta": _jsonable(self.meta),
+            "artifacts": dict(self.artifacts),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path) -> Path:
+        """Write the report JSON to ``path`` and record it as the
+        ``report`` artifact."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        self.artifacts["report"] = str(path)
+        return path
+
+
+def series_from_sweeps(results: dict) -> list[SeriesReport]:
+    """Normalize ``{label: SweepResult}`` into :class:`SeriesReport`
+    rows (the shape every figure runner returns)."""
+    import math
+    series = []
+    for label, result in results.items():
+        baseline = float(result.baseline)
+        series.append(SeriesReport(
+            label=label,
+            xs=[float(x) for x in result.xs],
+            mean=[float(m) for m in result.mean()],
+            std=[float(s) for s in result.std()],
+            baseline=None if math.isnan(baseline) else baseline))
+    return series
+
+
+def _jsonable(value):
+    """Best-effort conversion of meta payloads to JSON-able values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, Path):
+        return str(value)
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()  # numpy scalars
+        except Exception:
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -1,0 +1,101 @@
+"""The typed request half of the API: what to run, and how.
+
+A :class:`RunRequest` is everything one experiment run needs, in one
+validated value: the registry name, its parameters, and the engine
+options every workload shares (executor, worker count, inference
+backend, cache cap, journal).  Experiment parameters are validated
+against the registry entry at submit time; the engine options are
+validated here, eagerly, so a malformed request fails before any model
+loads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .errors import ApiError
+
+__all__ = ["RunRequest", "EXECUTORS", "BACKENDS"]
+
+#: executor names the engine resolves (see repro.core.engine)
+EXECUTORS = ("serial", "multiprocessing", "shared_memory", "shm")
+#: inference backends (see repro.binary.layers)
+BACKENDS = ("float", "packed")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One validated experiment-run request.
+
+    Parameters
+    ----------
+    experiment:
+        Registry name (``repro list`` / :func:`repro.api.experiment_names`).
+    params:
+        Experiment parameters; values may be CLI strings (coerced
+        against the declared :class:`~repro.api.registry.Param` kinds)
+        or real Python values.  Unknown names are refused at submit.
+    executor / n_jobs / backend / cache_bytes:
+        The engine options of :class:`repro.core.FaultCampaign`,
+        identical semantics.
+    journal:
+        JSONL journal path; multi-series experiments derive one sibling
+        file per series (``fig4a.jsonl`` → ``fig4a.conv1.jsonl``).
+        Refused for experiments that declare no journal support.
+    resume:
+        Allow continuing existing journal files; without it an existing
+        non-empty journal is refused (exit 2 on the CLI), never
+        silently overwritten.
+    quick:
+        Apply the experiment's declared quick overrides (tiny smoke
+        sizes) underneath ``params``.
+    """
+
+    experiment: str
+    params: Mapping = field(default_factory=dict)
+    executor: str = "serial"
+    n_jobs: int | None = None
+    backend: str = "float"
+    cache_bytes: int | None = None
+    journal: str | Path | None = None
+    resume: bool = False
+    quick: bool = False
+
+    def __post_init__(self):
+        if not self.experiment or not isinstance(self.experiment, str):
+            raise ApiError("experiment must be a non-empty registry name")
+        if not isinstance(self.params, Mapping):
+            raise ApiError(f"params must be a mapping, got "
+                           f"{type(self.params).__name__}")
+        if isinstance(self.executor, str) and self.executor not in EXECUTORS:
+            raise ApiError(f"unknown executor {self.executor!r}; "
+                           f"use one of {list(EXECUTORS[:3])}")
+        if self.backend not in BACKENDS:
+            raise ApiError(f"unknown backend {self.backend!r}; "
+                           f"use one of {list(BACKENDS)}")
+        if self.n_jobs is not None and (not isinstance(self.n_jobs, int)
+                                        or self.n_jobs < 0):
+            raise ApiError(f"n_jobs must be a non-negative int or None, "
+                           f"got {self.n_jobs!r}")
+        if self.cache_bytes is not None and (
+                not isinstance(self.cache_bytes, int) or self.cache_bytes < 0):
+            raise ApiError(f"cache_bytes must be a non-negative int or "
+                           f"None, got {self.cache_bytes!r}")
+        if self.resume and self.journal is None:
+            raise ApiError("resume requires a journal path "
+                           "(--journal PATH); nothing to resume")
+
+    def engine(self) -> dict:
+        """The request's engine options as a JSON-able dict (recorded on
+        every :class:`~repro.api.report.RunReport`)."""
+        return {
+            "executor": self.executor,
+            "n_jobs": self.n_jobs,
+            "backend": self.backend,
+            "cache_bytes": self.cache_bytes,
+            "journal": str(self.journal) if self.journal else None,
+            "resume": self.resume,
+            "quick": self.quick,
+        }

@@ -6,18 +6,26 @@ Usage::
 
 Commands
 --------
+``run``           run any registered experiment (``repro.api``)
+``list``          the experiment registry
+``describe``      one experiment's parameters + an example invocation
 ``report``        mapping report of a model (ops per crossbar, reuse)
 ``vectors``       generate an annotated fault-vector file for a model
 ``inspect``       print the contents of a fault-vector file
-``sweep``         accuracy-vs-rate sweep on the trained LeNet
-``scenarios``     declarative lifetime/environment scenarios (list / run)
+``sweep``         deprecated shim for ``run sweep``
+``scenarios``     scenario zoo listing (``list``) and the deprecated
+                  ``run`` shim for ``run <scenario-name>``
 ``table1``        the adopted experimental setup (paper Table I)
 ``table2``        model characteristics (paper Table II)
 ``cost``          per-layer LIM energy/latency estimate of a model
 
-Errors in user-provided inputs — malformed scenario specs, unknown zoo
-names, journals that do not match the requested campaign — exit with
-status 2; internal failures raise.
+Exit codes are uniform across every subcommand:
+
+* ``0`` — success;
+* ``2`` — usage/validation error (unknown experiment, malformed
+  ``--param`` or scenario spec, a journal that does not match the
+  requested campaign, argparse usage errors);
+* ``1`` — runtime failure inside a valid request.
 """
 
 from __future__ import annotations
@@ -37,6 +45,170 @@ def _resolve_model(name: str, seed: int = 0):
         return build_lenet(seed=seed)
     return build_model(name, seed=seed)
 
+
+# -- the one event renderer every streaming command shares ----------------
+
+def _event_renderer(show_cells: bool, stream=None):
+    """A RunHandle subscriber rendering typed events to ``stream``.
+
+    This replaces the per-subcommand ``progress`` closures: warnings are
+    always surfaced; per-cell lines only when the caller asked
+    (``show_cells`` — journaled or ``--progress`` runs).
+    """
+    from .api import CellDone, CheckpointDone, RunWarning
+    out = stream or sys.stderr
+
+    def render(event):
+        if isinstance(event, CellDone) and show_cells:
+            print(f"[{event.done}/{event.total}] {event.series} "
+                  f"point {event.point} repeat {event.repeat}: "
+                  f"{100 * event.accuracy:.1f}%", file=out)
+        elif isinstance(event, CheckpointDone) and show_cells:
+            print(f"checkpoint {event.index + 1}/{event.total} "
+                  f"(age {event.age:g}) complete", file=out)
+        elif isinstance(event, RunWarning):
+            print(f"warning: {event.message}", file=out)
+    return render
+
+
+def _cache_bytes(args) -> int | None:
+    return (args.cache_cap * 2 ** 20 if args.cache_cap is not None
+            else None)
+
+
+def _default_executor(args) -> str:
+    if args.executor is not None:
+        return args.executor
+    serial = args.jobs is None or args.jobs == 1
+    return "serial" if serial else "multiprocessing"
+
+
+# -- registry commands: run / list / describe -----------------------------
+
+def _parse_param_tokens(tokens) -> dict:
+    from .api import ApiError
+    params = {}
+    for token in tokens or ():
+        name, separator, value = token.partition("=")
+        if not separator or not name:
+            raise ApiError(f"malformed --param {token!r}; expected "
+                           "--param name=value")
+        params[name] = value
+    return params
+
+
+def _cmd_run(args) -> int:
+    from . import api
+    request = api.RunRequest(
+        experiment=args.experiment,
+        params=_parse_param_tokens(args.param),
+        executor=_default_executor(args), n_jobs=args.jobs or None,
+        backend=args.backend, cache_bytes=_cache_bytes(args),
+        journal=args.journal, resume=args.resume, quick=args.quick)
+    handle = api.submit(request)
+    handle.subscribe(_event_renderer(
+        show_cells=args.progress or bool(args.journal)))
+    report = handle.run()
+    _print_report(report)
+    if args.out:
+        path = report.save(args.out)
+        print(f"[report] {path}")
+    return 0
+
+
+def _print_report(report) -> None:
+    engine = report.engine
+    header = f"experiment: {report.experiment}"
+    if report.baseline is not None:
+        header += f"  baseline: {100 * report.baseline:.1f}%"
+    header += f"  [{engine['executor']}/{engine['backend']}]"
+    print(header)
+    resumed = report.meta.get("resumed_cells")
+    for name, path in sorted(report.artifacts.items()):
+        if name.startswith("journal"):
+            print(f"{name}: {path}"
+                  + (f" ({resumed} cells resumed)"
+                     if resumed is not None else ""))
+    if report.series:
+        rows = []
+        for series in report.series:
+            for x, mean, std in zip(series.xs, series.mean, series.std):
+                rows.append((series.label, f"{x:g}", f"{100 * mean:.1f}",
+                             f"{100 * std:.1f}"))
+        print(markdown_table(["series", "x", "accuracy %", "std %"], rows))
+    for name, payload in report.tables.items():
+        print(f"\n[{name}]")
+        if isinstance(payload, dict) and "columns" in payload:
+            print(markdown_table(payload["columns"],
+                                 [tuple(row) for row in payload["rows"]]))
+        else:
+            import json
+            print(json.dumps(payload, indent=2, default=str))
+
+
+def _cmd_list(args) -> int:
+    from . import api
+    if args.names:
+        for name in api.experiment_names():
+            print(name)
+        return 0
+    rows = []
+    for name in api.experiment_names():
+        info = api.describe(name)
+        description = info["description"]
+        if len(description) > 56:
+            description = description[:53] + "..."
+        rows.append((name, len(info["params"]),
+                     "yes" if info["supports_journal"] else "no",
+                     description))
+    print(markdown_table(["experiment", "params", "journal", "description"],
+                         rows))
+    return 0
+
+
+def _format_param_value(kind: str, value) -> str:
+    """CLI text for one param value (delegates to Param.format — the
+    single source of truth for the ``--param`` syntax)."""
+    from .api import Param
+    return Param("_", kind).format(value)
+
+
+def _cmd_describe(args) -> int:
+    from . import api
+    info = api.describe(args.experiment)
+    print(f"{info['name']} — {info['description']}")
+    if info["aliases"]:
+        print(f"aliases: {', '.join(info['aliases'])}")
+    print(f"journal support: {'yes' if info['supports_journal'] else 'no'}")
+    if info["params"]:
+        rows = []
+        for param in info["params"]:
+            default = ("" if param["default"] is None
+                       else _format_param_value(param["kind"],
+                                                param["default"]))
+            quick = info["quick"].get(param["name"])
+            rows.append((param["name"], param["kind"], default,
+                         "" if quick is None
+                         else _format_param_value(param["kind"], quick),
+                         param.get("help", "")))
+        print(markdown_table(["param", "kind", "default", "quick", "help"],
+                             rows))
+    # params without a default (e.g. scenario's name/spec) fall back to
+    # their quick value so the printed invocation actually runs
+    tokens = []
+    for param in info["params"]:
+        value = param["default"]
+        if value is None:
+            value = info["quick"].get(param["name"])
+        if value is not None:
+            tokens.append(f"--param {param['name']}="
+                          f"{_format_param_value(param['kind'], value)}")
+    print("invocation:")
+    print(f"  python -m repro run {info['name']} " + " ".join(tokens))
+    return 0
+
+
+# -- standalone inspection commands ---------------------------------------
 
 def _cmd_report(args) -> int:
     model = _resolve_model(args.model)
@@ -89,59 +261,26 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
-def _journal_args_error(args) -> str | None:
-    """Exit-2 message when --journal/--resume are inconsistent, else None
-    (shared by every journaling command so the guard cannot drift)."""
-    import os
-
-    if args.resume and not args.journal:
-        return "--resume requires --journal PATH (nothing to resume)"
-    if (args.journal and not args.resume and os.path.exists(args.journal)
-            and os.path.getsize(args.journal) > 0):
-        return (f"journal {args.journal} already exists; "
-                "pass --resume to continue it")
-    return None
-
+# -- deprecated shims over the registry -----------------------------------
 
 def _cmd_sweep(args) -> int:
-    from .core import FaultCampaign
-    from .experiments import get_mnist, trained_lenet
-
-    error = _journal_args_error(args)
-    if error is not None:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    model = trained_lenet()
-    _, test = get_mnist()
-    test = test.subset(args.images)
-    executor = args.executor
-    if executor is None:
-        serial = args.jobs is None or args.jobs == 1
-        executor = "serial" if serial else "multiprocessing"
-    campaign = FaultCampaign(model, test.x, test.y,
-                             rows=args.rows, cols=args.cols,
-                             executor=executor,
-                             n_jobs=args.jobs or None,
-                             backend=args.backend,
-                             cache_bytes=(args.cache_cap * 2 ** 20
-                                          if args.cache_cap is not None
-                                          else None))
-    spec_factory = (FaultSpec.bitflip if args.fault == "bitflip"
-                    else FaultSpec.stuck_at)
-    progress = None
-    if args.journal:
-        def progress(done, total, cell):
-            point, repeat, accuracy = cell
-            print(f"[{done}/{total}] point {point} repeat {repeat}: "
-                  f"{100 * accuracy:.1f}%", file=sys.stderr)
-    try:
-        result = campaign.run(spec_factory, xs=args.rates,
-                              repeats=args.repeats, label=args.fault,
-                              journal=args.journal, progress=progress)
-    except ValueError as error:
-        # e.g. resuming a journal written for a different campaign
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    """Thin shim: ``repro sweep`` == ``repro run sweep`` (deprecated)."""
+    from . import api
+    from ._compat import warn_legacy
+    warn_legacy("repro sweep", "repro run sweep")
+    print("note: 'repro sweep' is deprecated; use 'repro run sweep' "
+          "(see: repro describe sweep)", file=sys.stderr)
+    request = api.RunRequest(
+        "sweep",
+        params=dict(fault=args.fault, rates=list(args.rates),
+                    repeats=args.repeats, images=args.images,
+                    rows=args.rows, cols=args.cols),
+        executor=_default_executor(args), n_jobs=args.jobs or None,
+        backend=args.backend, cache_bytes=_cache_bytes(args),
+        journal=args.journal, resume=args.resume)
+    handle = api.submit(request)
+    handle.subscribe(_event_renderer(show_cells=bool(args.journal)))
+    result = handle.run().raw
     if args.journal:
         print(f"journal: {args.journal} "
               f"({result.meta['resumed_cells']} cells resumed)")
@@ -171,9 +310,14 @@ def _cmd_scenarios_list(args) -> int:
 
 
 def _cmd_scenarios_run(args) -> int:
-    from .experiments import get_mnist, trained_lenet
-    from .scenarios import Scenario, ScenarioError, resolve_scenario, run_scenario
-
+    """Thin shim: ``repro scenarios run X`` == ``repro run X``
+    (deprecated)."""
+    from . import api
+    from ._compat import warn_legacy
+    warn_legacy("repro scenarios run",
+                "repro run <scenario-name> (or: repro run scenario)")
+    print("note: 'repro scenarios run' is deprecated; use "
+          "'repro run <scenario-name>' (see: repro list)", file=sys.stderr)
     if args.name is None and args.spec is None:
         print("error: name a zoo scenario or pass --spec FILE "
               "(see: repro scenarios list)", file=sys.stderr)
@@ -182,43 +326,17 @@ def _cmd_scenarios_run(args) -> int:
         print(f"error: both a zoo name ({args.name!r}) and --spec given; "
               "pick one", file=sys.stderr)
         return 2
-    error = _journal_args_error(args)
-    if error is not None:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    try:
-        scenario = (Scenario.from_file(args.spec) if args.spec
-                    else resolve_scenario(args.name))
-    except ScenarioError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    model = trained_lenet()
-    _, test = get_mnist()
-    test = test.subset(args.images)
-    executor = args.executor
-    if executor is None:
-        serial = args.jobs is None or args.jobs == 1
-        executor = "serial" if serial else "multiprocessing"
-    progress = None
-    if args.journal:
-        def progress(done, total, cell):
-            point, repeat, accuracy = cell
-            print(f"[{done}/{total}] cell {point} repeat {repeat}: "
-                  f"{100 * accuracy:.1f}%", file=sys.stderr)
-    try:
-        result = run_scenario(
-            scenario, model, test.x, test.y, repeats=args.repeats,
-            seed=args.seed, rows=args.rows, cols=args.cols,
-            executor=executor, n_jobs=args.jobs or None,
-            backend=args.backend,
-            cache_bytes=(args.cache_cap * 2 ** 20
-                         if args.cache_cap is not None else None),
-            journal=args.journal, progress=progress)
-    except (ScenarioError, ValueError) as error:
-        # malformed scenario, unmapped layer targets, or resuming a
-        # journal written for a different scenario/grid
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    request = api.RunRequest(
+        "scenario",
+        params=dict(name=args.name, spec=args.spec, repeats=args.repeats,
+                    images=args.images, rows=args.rows, cols=args.cols,
+                    seed=args.seed),
+        executor=_default_executor(args), n_jobs=args.jobs or None,
+        backend=args.backend, cache_bytes=_cache_bytes(args),
+        journal=args.journal, resume=args.resume)
+    handle = api.submit(request)
+    handle.subscribe(_event_renderer(show_cells=bool(args.journal)))
+    result = handle.run().raw
     if args.journal:
         print(f"journal: {args.journal} "
               f"({result.sweep.meta['resumed_cells']} cells resumed)")
@@ -276,11 +394,74 @@ def _cmd_cost(args) -> int:
     return 0
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The engine options every campaign-running command shares."""
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run the campaign on N worker processes "
+                             "(default: 1 = in-process serial; 0 = all "
+                             "cores)")
+    parser.add_argument("--executor", default=None,
+                        choices=["serial", "multiprocessing",
+                                 "shared_memory"],
+                        help="executor override (default: serial for "
+                             "--jobs<=1, multiprocessing otherwise); "
+                             "shared_memory attaches the test set "
+                             "zero-copy in every worker")
+    parser.add_argument("--backend", default="float",
+                        choices=["float", "packed"],
+                        help="inference backend: float GEMM or packed "
+                             "uint64 XNOR/popcount (bit-identical)")
+    parser.add_argument("--cache-cap", type=int, default=None,
+                        metavar="MiB",
+                        help="byte cap (in MiB), per quantized layer, "
+                             "for the campaign's derived "
+                             "input-representation cache (im2col / "
+                             "packed words); default 256")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="stream completed cells into a JSONL "
+                             "journal; rerun with --resume to continue "
+                             "an interrupted campaign (multi-series "
+                             "experiments derive one sibling file per "
+                             "series)")
+    parser.add_argument("--resume", action="store_true",
+                        help="allow continuing existing --journal files")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FLIM fault-injection platform (DAC'23 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
     model_choices = ["lenet"] + model_names()
+
+    p_run = sub.add_parser(
+        "run", help="run a registered experiment (see: repro list)")
+    p_run.add_argument("experiment",
+                       help="registry name (repro list) — fig4a..fig4f, "
+                            "fig5a..fig5c, sweep, table1/2, scenario, or "
+                            "a zoo scenario name")
+    p_run.add_argument("--param", action="append", default=[],
+                       metavar="K=V",
+                       help="experiment parameter override (repeatable); "
+                            "see: repro describe <experiment>")
+    p_run.add_argument("--quick", action="store_true",
+                       help="apply the experiment's tiny smoke-test "
+                            "parameter overrides")
+    p_run.add_argument("--progress", action="store_true",
+                       help="stream per-cell progress lines to stderr")
+    p_run.add_argument("--out", default=None, metavar="PATH",
+                       help="write the RunReport JSON to PATH")
+    _add_engine_arguments(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_list = sub.add_parser("list", help="the experiment registry")
+    p_list.add_argument("--names", action="store_true",
+                        help="bare names only (one per line, for scripts)")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_desc = sub.add_parser(
+        "describe", help="one experiment's parameters + example invocation")
+    p_desc.add_argument("experiment")
+    p_desc.set_defaults(func=_cmd_describe)
 
     p_report = sub.add_parser("report", help="crossbar mapping report")
     p_report.add_argument("--model", default="lenet", choices=model_choices)
@@ -305,7 +486,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("path")
     p_ins.set_defaults(func=_cmd_inspect)
 
-    p_sweep = sub.add_parser("sweep", help="accuracy sweep on trained LeNet")
+    p_sweep = sub.add_parser(
+        "sweep", help="[deprecated: use `run sweep`] accuracy sweep on "
+                      "trained LeNet")
     p_sweep.add_argument("--fault", default="bitflip",
                          choices=["bitflip", "stuck_at"])
     p_sweep.add_argument("--rates", type=float, nargs="+",
@@ -314,32 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--images", type=int, default=300)
     p_sweep.add_argument("--rows", type=int, default=40)
     p_sweep.add_argument("--cols", type=int, default=10)
-    p_sweep.add_argument("--jobs", type=int, default=None, metavar="N",
-                         help="run the campaign on N worker processes "
-                              "(default: 1 = in-process serial; 0 = all cores)")
-    p_sweep.add_argument("--executor", default=None,
-                         choices=["serial", "multiprocessing",
-                                  "shared_memory"],
-                         help="executor override (default: serial for "
-                              "--jobs<=1, multiprocessing otherwise); "
-                              "shared_memory attaches the test set "
-                              "zero-copy in every worker")
-    p_sweep.add_argument("--backend", default="float",
-                         choices=["float", "packed"],
-                         help="inference backend: float GEMM or packed "
-                              "uint64 XNOR/popcount (bit-identical)")
-    p_sweep.add_argument("--cache-cap", type=int, default=None,
-                         metavar="MiB",
-                         help="byte cap (in MiB), per quantized layer, "
-                              "for the campaign's derived "
-                              "input-representation cache (im2col / "
-                              "packed words); default 256")
-    p_sweep.add_argument("--journal", default=None, metavar="PATH",
-                         help="stream completed cells into a JSONL journal; "
-                              "an interrupted sweep rerun with the same "
-                              "journal (--resume) skips recorded cells")
-    p_sweep.add_argument("--resume", action="store_true",
-                         help="allow continuing an existing --journal file")
+    _add_engine_arguments(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_scen = sub.add_parser(
@@ -348,8 +506,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_slist = scen_sub.add_parser("list", help="the scenario zoo")
     p_slist.set_defaults(func=_cmd_scenarios_list)
     p_srun = scen_sub.add_parser(
-        "run", help="run a scenario on the trained LeNet; prints the "
-                    "per-checkpoint accuracy trajectory")
+        "run", help="[deprecated: use `run <scenario-name>`] run a "
+                    "scenario on the trained LeNet")
     p_srun.add_argument("name", nargs="?", default=None,
                         help="zoo scenario name (see: repro scenarios list)")
     p_srun.add_argument("--spec", default=None, metavar="FILE",
@@ -360,27 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srun.add_argument("--rows", type=int, default=40)
     p_srun.add_argument("--cols", type=int, default=10)
     p_srun.add_argument("--seed", type=int, default=0)
-    p_srun.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="run the campaign on N worker processes "
-                             "(default: 1 = in-process serial; 0 = all cores)")
-    p_srun.add_argument("--executor", default=None,
-                        choices=["serial", "multiprocessing",
-                                 "shared_memory"],
-                        help="executor override (default: serial for "
-                             "--jobs<=1, multiprocessing otherwise)")
-    p_srun.add_argument("--backend", default="float",
-                        choices=["float", "packed"],
-                        help="inference backend: float GEMM or packed "
-                             "uint64 XNOR/popcount (bit-identical)")
-    p_srun.add_argument("--cache-cap", type=int, default=None, metavar="MiB",
-                        help="byte cap (in MiB), per quantized layer, for "
-                             "the campaign's input-representation cache")
-    p_srun.add_argument("--journal", default=None, metavar="PATH",
-                        help="stream completed cells into a JSONL journal; "
-                             "rerun with --resume to continue an "
-                             "interrupted trajectory")
-    p_srun.add_argument("--resume", action="store_true",
-                        help="allow continuing an existing --journal file")
+    _add_engine_arguments(p_srun)
     p_srun.set_defaults(func=_cmd_scenarios_run)
 
     p_t1 = sub.add_parser("table1", help="experimental setup (Table I)")
@@ -401,8 +539,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Dispatch a CLI invocation; exit codes are uniform (see module
+    docstring): validation errors (any :class:`ValueError`, which
+    includes ``ApiError`` and ``ScenarioError``) exit 2, runtime
+    failures exit 1."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # downstream pipe closed (e.g. `| head`)
+        return 1
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Exception as error:  # uniform runtime-failure exit code
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

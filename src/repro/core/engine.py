@@ -849,6 +849,16 @@ class MultiprocessingExecutor:
         #: prefix-plane metrics of the most recent pooled run (only the
         #: shared-memory executor populates this)
         self.prefix_plane: dict | None = None
+        #: event hook: ``on_warning(message)`` is invoked for non-fatal
+        #: conditions a caller should surface (e.g. a grid that cannot
+        #: use the pool falling back to the serial loop).  The streaming
+        #: API (:mod:`repro.api`) wires this to its typed
+        #: ``RunWarning`` events; ``None`` stays silent.
+        self.on_warning: Callable[[str], None] | None = None
+
+    def _notify(self, message: str) -> None:
+        if self.on_warning is not None:
+            self.on_warning(message)
 
     def _make_payload(self, evaluator: CampaignEvaluator
                       ) -> tuple[dict, Callable[[bool], None]]:
@@ -897,6 +907,11 @@ class MultiprocessingExecutor:
         jobs = list(jobs)
         n_shards = self._shard_count(len(jobs), self._n_batches(evaluator))
         if self.n_jobs == 1 or (len(jobs) <= 1 and n_shards <= 1):
+            if self.n_jobs > 1:
+                self._notify(
+                    f"grid of {len(jobs)} job(s) cannot use the "
+                    f"{self.n_jobs}-worker pool; falling back to the "
+                    "in-process serial loop")
             self.payload_bytes = 0
             self.prefix_plane = None  # this run attached no planes
             yield from SerialExecutor().run_iter(jobs, evaluator)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._compat import legacy
 from ..analysis.runtime import RuntimeSample, extrapolate, measure, speedup_table
 from ..core import FaultCampaign, FaultInjector, FaultGenerator, FaultSpec, SweepResult
 from ..data import Dataset
@@ -29,33 +30,58 @@ DEFAULT_RATES = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
 
 def _campaign(model: Sequential, test: Dataset, rows: int, cols: int,
               executor: str | object = "serial", n_jobs: int | None = None,
-              backend: str = "float") -> FaultCampaign:
+              backend: str = "float",
+              cache_bytes: int | None = None) -> FaultCampaign:
     return FaultCampaign(model, test.x, test.y, rows=rows, cols=cols,
-                         executor=executor, n_jobs=n_jobs, backend=backend)
+                         executor=executor, n_jobs=n_jobs, backend=backend,
+                         cache_bytes=cache_bytes)
+
+
+def _series_hooks(progress, journal_for, name):
+    """Per-series campaign hooks from the driver-level ones.
+
+    ``progress(series, done, total, cell)`` narrows to the engine's
+    ``progress(done, total, cell)`` for one series; ``journal_for(name)``
+    yields that series' own journal path (each series is its own grid,
+    so each needs its own fingerprinted journal).
+    """
+    campaign_progress = None
+    if progress is not None:
+        def campaign_progress(done, total, cell, _name=name):
+            progress(_name, done, total, cell)
+    journal = journal_for(name) if journal_for is not None else None
+    return campaign_progress, journal
 
 
 def layer_sweeps(model: Sequential, test: Dataset, spec_factory,
                  xs, repeats: int, rows: int = 40, cols: int = 10,
                  layer_names=LENET_MAPPED_LAYERS, seed: int = 0,
                  executor: str | object = "serial", n_jobs: int | None = None,
-                 backend: str = "float") -> dict[str, SweepResult]:
+                 backend: str = "float", cache_bytes: int | None = None,
+                 progress=None, journal_for=None) -> dict[str, SweepResult]:
     """Per-layer sweeps plus the 'combined' all-layer sweep (Fig. 4a/b).
 
-    The campaign engine options (``executor``/``n_jobs``/``backend``) pass
-    straight through, so every Fig. 4 scenario can run on the pool
-    executors and the packed backend — all bit-identical to serial/float.
+    The campaign engine options (``executor``/``n_jobs``/``backend``/
+    ``cache_bytes``) pass straight through, so every Fig. 4 scenario can
+    run on the pool executors and the packed backend — all bit-identical
+    to serial/float.  ``progress(series, done, total, cell)`` and
+    ``journal_for(series) -> path`` are the streaming hooks of the
+    :mod:`repro.api` layer: one callback / journal per series curve.
     """
-    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend)
+    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend,
+                         cache_bytes)
     results: dict[str, SweepResult] = {}
-    for name in layer_names:
+    for name in (*layer_names, "combined"):
+        campaign_progress, journal = _series_hooks(progress, journal_for,
+                                                   name)
         results[name] = campaign.run(
             spec_factory, xs, repeats=repeats, seed=seed,
-            layers=[name], label=name)
-    results["combined"] = campaign.run(
-        spec_factory, xs, repeats=repeats, seed=seed, label="combined")
+            layers=None if name == "combined" else [name], label=name,
+            journal=journal, progress=campaign_progress)
     return results
 
 
+@legacy("repro.api.run('fig4a', ...) / repro run fig4a")
 def run_fig4a(model: Sequential, test: Dataset, rates=DEFAULT_RATES,
               repeats: int = 10, rows: int = 40, cols: int = 10,
               seed: int = 0, **engine) -> dict[str, SweepResult]:
@@ -64,6 +90,7 @@ def run_fig4a(model: Sequential, test: Dataset, rates=DEFAULT_RATES,
                         rows, cols, seed=seed, **engine)
 
 
+@legacy("repro.api.run('fig4b', ...) / repro run fig4b")
 def run_fig4b(model: Sequential, test: Dataset, rates=DEFAULT_RATES,
               repeats: int = 10, rows: int = 40, cols: int = 10,
               seed: int = 0, **engine) -> dict[str, SweepResult]:
@@ -72,54 +99,77 @@ def run_fig4b(model: Sequential, test: Dataset, rates=DEFAULT_RATES,
                         rows, cols, seed=seed, **engine)
 
 
+@legacy("repro.api.run('fig4c', ...) / repro run fig4c")
 def run_fig4c(model: Sequential, test: Dataset, periods=(0, 1, 2, 3, 4),
               rate: float = 0.10, repeats: int = 10, rows: int = 40,
               cols: int = 10, seed: int = 0, executor: str | object = "serial",
-              n_jobs: int | None = None, backend: str = "float") -> SweepResult:
+              n_jobs: int | None = None, backend: str = "float",
+              cache_bytes: int | None = None, journal=None,
+              progress=None) -> SweepResult:
     """Fig. 4c: dynamic faults — sensitization period vs accuracy.
 
     ``period`` counts the XNOR operations needed to sensitize the fault;
-    0/1 fire on every operation (the static case).
+    0/1 fire on every operation (the static case).  ``journal`` /
+    ``progress`` forward to :meth:`FaultCampaign.run` unchanged (one
+    grid, one journal).
     """
-    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend)
+    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend,
+                         cache_bytes)
     return campaign.run(
         lambda n: FaultSpec.bitflip(rate, period=int(n)),
-        xs=list(periods), repeats=repeats, seed=seed, label="dynamic")
+        xs=list(periods), repeats=repeats, seed=seed, label="dynamic",
+        journal=journal, progress=progress)
 
 
+def _line_sweeps(model, test, spec_for_count, counts, repeats, rows, cols,
+                 seed, layer_names, executor, n_jobs, backend, cache_bytes,
+                 progress, journal_for) -> dict[str, SweepResult]:
+    """Shared faulty-line driver (Fig. 4d columns / Fig. 4e rows)."""
+    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend,
+                         cache_bytes)
+    results = {}
+    for name in layer_names:
+        campaign_progress, journal = _series_hooks(progress, journal_for,
+                                                   name)
+        results[name] = campaign.run(
+            spec_for_count, xs=list(counts), repeats=repeats, seed=seed,
+            layers=[name], label=name, journal=journal,
+            progress=campaign_progress)
+    return results
+
+
+@legacy("repro.api.run('fig4d', ...) / repro run fig4d")
 def run_fig4d(model: Sequential, test: Dataset, counts=(0, 1, 2, 3, 4),
               repeats: int = 10, rows: int = 40, cols: int = 10,
               seed: int = 0, layer_names=LENET_MAPPED_LAYERS,
               executor: str | object = "serial", n_jobs: int | None = None,
-              backend: str = "float") -> dict[str, SweepResult]:
+              backend: str = "float", cache_bytes: int | None = None,
+              progress=None, journal_for=None) -> dict[str, SweepResult]:
     """Fig. 4d: number of faulty crossbar columns vs accuracy, per layer."""
-    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend)
-    results = {}
-    for name in layer_names:
-        results[name] = campaign.run(
-            lambda c: FaultSpec.faulty_columns(int(c)),
-            xs=list(counts), repeats=repeats, seed=seed,
-            layers=[name], label=name)
-    return results
+    return _line_sweeps(model, test,
+                        lambda c: FaultSpec.faulty_columns(int(c)),
+                        counts, repeats, rows, cols, seed, layer_names,
+                        executor, n_jobs, backend, cache_bytes,
+                        progress, journal_for)
 
 
+@legacy("repro.api.run('fig4e', ...) / repro run fig4e")
 def run_fig4e(model: Sequential, test: Dataset,
               counts=(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
               repeats: int = 10, rows: int = 40, cols: int = 10,
               seed: int = 0, layer_names=LENET_MAPPED_LAYERS,
               executor: str | object = "serial", n_jobs: int | None = None,
-              backend: str = "float") -> dict[str, SweepResult]:
+              backend: str = "float", cache_bytes: int | None = None,
+              progress=None, journal_for=None) -> dict[str, SweepResult]:
     """Fig. 4e: number of faulty crossbar rows vs accuracy, per layer."""
-    campaign = _campaign(model, test, rows, cols, executor, n_jobs, backend)
-    results = {}
-    for name in layer_names:
-        results[name] = campaign.run(
-            lambda r: FaultSpec.faulty_rows(int(r)),
-            xs=list(counts), repeats=repeats, seed=seed,
-            layers=[name], label=name)
-    return results
+    return _line_sweeps(model, test,
+                        lambda r: FaultSpec.faulty_rows(int(r)),
+                        counts, repeats, rows, cols, seed, layer_names,
+                        executor, n_jobs, backend, cache_bytes,
+                        progress, journal_for)
 
 
+@legacy("repro.api.run('fig4f', ...) / repro run fig4f")
 def run_fig4f(model: Sequential, test: Dataset, passes: int = 3,
               xfault_images: int = 2, serial_images: int = 1,
               rows: int = 40, cols: int = 10,

@@ -7,6 +7,7 @@ paper's axes: bit-flips 0-20%, stuck-at 0-2%, dynamic periods 0-5.
 
 from __future__ import annotations
 
+from .._compat import legacy
 from ..core import FaultCampaign, FaultSpec, SweepResult
 from ..data import Dataset
 from ..models.zoo import model_names
@@ -27,12 +28,16 @@ def model_sweep(spec_factory, xs, models: list[str] | None = None,
                 repeats: int = 5, rows: int = 40, cols: int = 10,
                 seed: int = 0, test: Dataset | None = None,
                 executor: str | object = "serial", n_jobs: int | None = None,
-                backend: str = "float") -> dict[str, SweepResult]:
+                backend: str = "float", cache_bytes: int | None = None,
+                progress=None, journal_for=None) -> dict[str, SweepResult]:
     """Run one sweep on every zoo model; returns label -> SweepResult.
 
-    The campaign engine options (``executor``/``n_jobs``/``backend``) pass
-    straight through, so the nine-architecture grids can run on the pool
-    executors and the packed backend — all bit-identical to serial/float.
+    The campaign engine options (``executor``/``n_jobs``/``backend``/
+    ``cache_bytes``) pass straight through, so the nine-architecture
+    grids can run on the pool executors and the packed backend — all
+    bit-identical to serial/float.  ``progress(series, done, total,
+    cell)`` and ``journal_for(series) -> path`` stream/journal one model
+    curve at a time (each model is its own campaign grid).
     """
     if models is None:
         models = model_names()
@@ -43,12 +48,19 @@ def model_sweep(spec_factory, xs, models: list[str] | None = None,
         model = trained_zoo_model(name)
         campaign = FaultCampaign(model, test.x, test.y, rows=rows, cols=cols,
                                  executor=executor, n_jobs=n_jobs,
-                                 backend=backend)
+                                 backend=backend, cache_bytes=cache_bytes)
+        campaign_progress = None
+        if progress is not None:
+            def campaign_progress(done, total, cell, _name=name):
+                progress(_name, done, total, cell)
+        journal = journal_for(name) if journal_for is not None else None
         results[name] = campaign.run(spec_factory, xs, repeats=repeats,
-                                     seed=seed, label=name)
+                                     seed=seed, label=name, journal=journal,
+                                     progress=campaign_progress)
     return results
 
 
+@legacy("repro.api.run('fig5a', ...) / repro run fig5a")
 def run_fig5a(models: list[str] | None = None, rates=BITFLIP_RATES,
               repeats: int = 5, seed: int = 0, **kwargs) -> dict[str, SweepResult]:
     """Fig. 5a: bit-flip rate vs accuracy across architectures."""
@@ -56,6 +68,7 @@ def run_fig5a(models: list[str] | None = None, rates=BITFLIP_RATES,
                        repeats=repeats, seed=seed, **kwargs)
 
 
+@legacy("repro.api.run('fig5b', ...) / repro run fig5b")
 def run_fig5b(models: list[str] | None = None, rates=STUCKAT_RATES,
               repeats: int = 5, seed: int = 0, **kwargs) -> dict[str, SweepResult]:
     """Fig. 5b: stuck-at rate vs accuracy across architectures."""
@@ -63,6 +76,7 @@ def run_fig5b(models: list[str] | None = None, rates=STUCKAT_RATES,
                        repeats=repeats, seed=seed, **kwargs)
 
 
+@legacy("repro.api.run('fig5c', ...) / repro run fig5c")
 def run_fig5c(models: list[str] | None = None, periods=DYNAMIC_PERIODS,
               rate: float = 0.10, repeats: int = 5, seed: int = 0,
               **kwargs) -> dict[str, SweepResult]:

@@ -4,8 +4,10 @@ Where :mod:`repro.experiments.fig4` reproduces the paper's single-axis
 sweeps, this driver runs a declarative scenario
 (:mod:`repro.scenarios`) and returns the accuracy-over-device-age
 trajectory — the figure an operator reads to schedule replacement or
-mitigation.  Engine options (executor / n_jobs / backend) pass straight
-through and stay bit-identical under fixed seeds.
+mitigation.  Engine options (executor / n_jobs / backend /
+cache_bytes), journaling, and streaming progress pass straight through
+and stay bit-identical under fixed seeds.  The :mod:`repro.api`
+registry runs every zoo story through this driver.
 """
 
 from __future__ import annotations
@@ -23,16 +25,25 @@ def run_lifetime_trajectory(model: Sequential, test: Dataset,
                             seed: int = 0,
                             executor: str | object = "serial",
                             n_jobs: int | None = None,
-                            backend: str = "float") -> ScenarioResult:
+                            backend: str = "float",
+                            cache_bytes: int | None = None,
+                            journal=None, progress=None,
+                            grid=None) -> ScenarioResult:
     """Run ``scenario`` (zoo name, spec path, or Scenario) on a model.
 
     Returns the full :class:`~repro.scenarios.ScenarioResult`; use
     :func:`trajectory_series` for the plottable (ages, accuracies)
-    series per environment.
+    series per environment.  ``journal``/``progress``/``grid`` forward
+    to :func:`repro.scenarios.run_scenario` unchanged (one compiled
+    grid is one campaign).
     """
-    return run_scenario(scenario, model, test.x, test.y, repeats=repeats,
-                        seed=seed, rows=rows, cols=cols, executor=executor,
-                        n_jobs=n_jobs, backend=backend)
+    # .__wrapped__ skips the legacy-entry-point DeprecationWarning: this
+    # driver *is* the supported path the registry runs scenarios through
+    return run_scenario.__wrapped__(
+        scenario, model, test.x, test.y, repeats=repeats,
+        seed=seed, rows=rows, cols=cols, executor=executor,
+        n_jobs=n_jobs, backend=backend, cache_bytes=cache_bytes,
+        journal=journal, progress=progress, grid=grid)
 
 
 def trajectory_series(result: ScenarioResult

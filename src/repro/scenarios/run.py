@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from .._compat import legacy
 from ..core.campaign import FaultCampaign, SweepResult
 from .compile import CompiledGrid, compile_scenario
 from .spec import Scenario, ScenarioError
@@ -127,6 +128,7 @@ class ScenarioResult:
                 f"[{points}] x{self.grid.n_episodes} episodes>")
 
 
+@legacy("repro.api.run('<scenario-name>', ...) / repro run <scenario-name>")
 def run_scenario(scenario, model, x_test, y_test, *,
                  repeats: int = 3, seed: int = 0,
                  rows: int = 40, cols: int = 10, batch_size: int = 256,
@@ -134,8 +136,8 @@ def run_scenario(scenario, model, x_test, y_test, *,
                  n_jobs: int | None = None, backend: str = "float",
                  cache_bytes: int | None = None, layers=None,
                  journal=None,
-                 progress: Callable[[int, int, tuple], None] | None = None
-                 ) -> ScenarioResult:
+                 progress: Callable[[int, int, tuple], None] | None = None,
+                 grid: CompiledGrid | None = None) -> ScenarioResult:
     """Compile ``scenario`` and run it as one fault campaign.
 
     Parameters mirror :class:`~repro.core.FaultCampaign` /
@@ -143,12 +145,16 @@ def run_scenario(scenario, model, x_test, y_test, *,
     :class:`Scenario`, a zoo name (``"end-of-life"``), or a
     ``.yaml``/``.json`` spec path.  ``layers`` optionally restricts the
     whole scenario to a mapped-layer subset on top of any per-clause
-    targeting.  Each cell's fault plans are pre-generated from seeds
+    targeting.  ``grid`` accepts an already compiled grid (compilation
+    is deterministic, so a caller that compiled for introspection —
+    e.g. the :mod:`repro.api` checkpoint-event wrapper — need not pay
+    it twice).  Each cell's fault plans are pre-generated from seeds
     that are pure functions of the grid coordinates, so the returned
     trajectory is bit-identical across executors and backends.
     """
     scenario = resolve_scenario(scenario)
-    grid = compile_scenario(scenario, model, rows=rows, cols=cols)
+    if grid is None:
+        grid = compile_scenario(scenario, model, rows=rows, cols=cols)
     with FaultCampaign(model, x_test, y_test, rows=rows, cols=cols,
                        batch_size=batch_size, executor=executor,
                        n_jobs=n_jobs, backend=backend,

@@ -1,4 +1,12 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Exit codes are asserted per the uniform contract: 0 success, 2
+usage/validation (malformed spec or --param, unknown experiment,
+mismatched journal), 1 runtime failure — for every subcommand including
+the registry-backed ``run`` / ``list`` / ``describe``.
+"""
+
+import re
 
 import numpy as np
 import pytest
@@ -213,3 +221,164 @@ def test_scenarios_run_rejects_name_plus_spec(capsys, tmp_path):
     captured = capsys.readouterr()
     assert code == 2
     assert "pick one" in captured.err
+
+
+# -- registry commands: run / list / describe -----------------------------
+
+TINY_SWEEP = ["--param", "rates=0.0,0.3", "--param", "repeats=1",
+              "--param", "images=60", "--param", "rows=8",
+              "--param", "cols=4"]
+
+
+def test_run_sweep_quick(capsys):
+    code, out = run_cli(capsys, "run", "sweep", "--quick")
+    assert code == 0
+    assert "experiment: sweep" in out
+    assert "baseline:" in out
+    assert "[serial/float]" in out
+    assert "bitflip" in out
+
+
+def test_run_accepts_params_and_writes_report(capsys, tmp_path):
+    out_path = tmp_path / "report.json"
+    code, out = run_cli(capsys, "run", "sweep", *TINY_SWEEP,
+                        "--out", str(out_path))
+    assert code == 0
+    assert out_path.exists()
+    assert "[report]" in out
+    import json
+    payload = json.loads(out_path.read_text())
+    assert payload["experiment"] == "sweep"
+    assert payload["params"]["repeats"] == 1
+
+
+def test_run_scenario_by_zoo_name(capsys):
+    code, out = run_cli(capsys, "run", "fresh-device", "--quick")
+    assert code == 0
+    assert "experiment: fresh-device" in out
+    assert "nominal" in out
+
+
+def test_run_with_journal_streams_and_resumes(capsys, tmp_path):
+    journal = str(tmp_path / "run.jsonl")
+    argv = ["run", "sweep", *TINY_SWEEP, "--journal", journal]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "0 cells resumed" in out
+
+    # reusing a journal requires --resume (uniform exit 2) ...
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--resume" in captured.err
+
+    # ... and with it the completed journal replays
+    code, out = run_cli(capsys, *argv, "--resume")
+    assert code == 0
+    assert "2 cells resumed" in out
+
+
+def test_run_unknown_experiment_exits_2(capsys):
+    code = main(["run", "definitely-not-registered"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown experiment" in captured.err
+
+
+def test_run_unknown_param_exits_2(capsys):
+    code = main(["run", "sweep", "--param", "bogus=1"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown param" in captured.err
+
+
+def test_run_malformed_param_exits_2(capsys):
+    code = main(["run", "sweep", "--param", "rates"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "name=value" in captured.err
+
+
+def test_run_uncoercible_param_exits_2(capsys):
+    code = main(["run", "sweep", "--param", "repeats=lots"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot read" in captured.err
+
+
+def test_run_runtime_failure_exits_1(capsys):
+    from repro import api
+
+    def explode(ctx):
+        raise RuntimeError("injected runtime failure")
+
+    api.REGISTRY.register(api.Experiment(name="boom-cli", func=explode))
+    try:
+        code = main(["run", "boom-cli"])
+    finally:
+        api.REGISTRY.unregister("boom-cli")
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "injected runtime failure" in captured.err
+
+
+def test_list_table_and_names(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("fig4a", "fig5a", "sweep", "table2", "end-of-life"):
+        assert name in out
+
+    code, out = run_cli(capsys, "list", "--names")
+    assert code == 0
+    names = out.split()
+    assert "fig4a" in names and "scenario" in names
+
+
+def test_describe_unknown_experiment_exits_2(capsys):
+    code = main(["describe", "not-there"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown experiment" in captured.err
+
+
+def test_describe_roundtrips_to_a_valid_invocation(capsys):
+    """The printed `--param k=v` tokens must parse back into a valid
+    request for the same experiment (validated without running)."""
+    from repro import api
+    for name in ("fig4a", "sweep", "end-of-life", "scenario"):
+        code, out = run_cli(capsys, "describe", name)
+        assert code == 0
+        line = next(l for l in out.splitlines()
+                    if l.strip().startswith("python -m repro run"))
+        tokens = re.findall(r"--param (\S+)=(\S+)", line)
+        assert tokens, line
+        params = dict(tokens)
+        handle = api.submit(api.RunRequest(name, params=params))
+        # resolved values equal the declared defaults they were printed from
+        for key, value in handle.params.items():
+            default = next(p["default"] for p in api.describe(name)["params"]
+                           if p["name"] == key)
+            if default is not None:
+                assert value == default, (name, key)
+
+
+def test_sweep_shim_warns_deprecation(capsys):
+    from repro._compat import reset_legacy_warnings
+    reset_legacy_warnings()
+    with pytest.warns(DeprecationWarning, match="repro sweep"):
+        code = main(["sweep", "--rates", "0.0", "--repeats", "1",
+                     "--images", "40", "--rows", "8", "--cols", "4"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "deprecated" in captured.err
+
+
+def test_scenarios_run_shim_warns_deprecation(capsys):
+    from repro._compat import reset_legacy_warnings
+    reset_legacy_warnings()
+    with pytest.warns(DeprecationWarning, match="repro scenarios run"):
+        code = main(["scenarios", "run", "fresh-device", "--repeats", "1",
+                     "--images", "40", "--rows", "8", "--cols", "4"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "deprecated" in captured.err
