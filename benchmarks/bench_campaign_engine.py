@@ -127,6 +127,7 @@ def main(argv=None) -> int:
     timings: dict[str, float] = {"seed_serial": seed_time}
     payload_bytes: dict[str, int] = {}
     prefix_planes: dict[str, dict] = {}
+    resilience: dict[str, dict] = {}
     mismatches: list[str] = []
     for executor, backend in [("serial", "float"), ("serial", "packed"),
                               ("multiprocessing", "float"),
@@ -146,6 +147,14 @@ def main(argv=None) -> int:
         planes = result.meta.get("prefix_plane")
         if planes is not None:
             prefix_planes[f"{executor}_{backend}"] = planes
+        # a timing measured through retries, rebuilds or a degraded rung
+        # is not a timing of the named executor — record and reject it
+        interference = result.meta.get("resilience")
+        if interference is not None:
+            resilience[f"{executor}_{backend}"] = interference
+            mismatches.append(f"supervision_interfered_{key}")
+            print(f"FAIL: supervision interfered with {key}: "
+                  f"{interference}", file=sys.stderr)
         identical = (np.array_equal(result.accuracies, seed_acc)
                      and result.baseline == seed_baseline)
         if not identical:
@@ -248,6 +257,7 @@ def main(argv=None) -> int:
             2),
         "payload_bytes": payload_bytes,
         "prefix_plane": prefix_planes,
+        "resilience": resilience,  # empty on a clean (undisturbed) run
         "input_cache": {
             "batch_size": cache_batch_size,
             "batches": n_batches,

@@ -36,8 +36,9 @@ old→new migration table.
 from __future__ import annotations
 
 from .errors import ApiError
-from .events import (CellDone, CheckpointDone, RunEvent, RunFinished,
-                     RunStarted, RunWarning)
+from .events import (CellDone, CheckpointDone, ExecutorDegraded,
+                     JobQuarantined, JobRetried, RunEvent, RunFinished,
+                     RunStarted, RunWarning, WorkerLost)
 from .handle import RunContext, RunHandle
 from .registry import (REGISTRY, Experiment, ExperimentRegistry, Param,
                        experiment)
@@ -47,6 +48,7 @@ from .request import BACKENDS, EXECUTORS, RunRequest
 __all__ = [
     "ApiError",
     "RunEvent", "RunStarted", "CellDone", "CheckpointDone", "RunWarning",
+    "JobRetried", "JobQuarantined", "WorkerLost", "ExecutorDegraded",
     "RunFinished",
     "Param", "Experiment", "ExperimentRegistry", "REGISTRY", "experiment",
     "RunRequest", "EXECUTORS", "BACKENDS",

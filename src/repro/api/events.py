@@ -18,6 +18,12 @@ way:
     A non-fatal condition worth surfacing — e.g. a pool executor
     falling back to the in-process serial loop because the job grid
     cannot use its workers.
+``JobRetried`` / ``JobQuarantined`` / ``WorkerLost`` / ``ExecutorDegraded``
+    Resilience events mirrored from the engine's supervision layer
+    (:mod:`repro.core.resilience`): a failed or timed-out cell being
+    retried with backoff; a poison cell quarantined (its accuracy is
+    NaN) after exhausting its attempts; a pool worker lost and the pool
+    rebuilt; the executor stepping down its degradation ladder.
 ``RunFinished``
     Emitted once, after the :class:`~repro.api.report.RunReport` is
     assembled; carries the report.
@@ -31,7 +37,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 __all__ = ["RunEvent", "RunStarted", "CellDone", "CheckpointDone",
-           "RunWarning", "RunFinished"]
+           "RunWarning", "JobRetried", "JobQuarantined", "WorkerLost",
+           "ExecutorDegraded", "RunFinished"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +85,49 @@ class RunWarning(RunEvent):
     """A non-fatal condition the consumer should surface."""
 
     message: str
+
+
+@dataclass(frozen=True)
+class JobRetried(RunEvent):
+    """A cell's attempt failed (``cause`` is ``"error"`` or
+    ``"timeout"``); it retries after ``delay`` seconds."""
+
+    point: int
+    repeat: int
+    attempt: int
+    delay: float
+    cause: str
+    error: str
+
+
+@dataclass(frozen=True)
+class JobQuarantined(RunEvent):
+    """A cell exhausted its attempts; its accuracy is NaN and the run
+    continues without it."""
+
+    point: int
+    repeat: int
+    attempts: int
+    error: str
+
+
+@dataclass(frozen=True)
+class WorkerLost(RunEvent):
+    """A pool worker died (or the pool stalled); the pool was rebuilt
+    and the ``in_flight`` affected cells re-dispatched."""
+
+    reason: str
+    in_flight: int
+
+
+@dataclass(frozen=True)
+class ExecutorDegraded(RunEvent):
+    """The executor stepped down its degradation ladder; remaining
+    cells run in ``to_mode`` with bit-identical results."""
+
+    from_mode: str
+    to_mode: str
+    reason: str
 
 
 @dataclass(frozen=True)

@@ -22,17 +22,29 @@ from __future__ import annotations
 
 import queue
 import threading
+from dataclasses import asdict
 from pathlib import Path
 
+from ..core import resilience as core_resilience
 from ..core.engine import get_executor
 from .errors import ApiError
-from .events import (CellDone, RunEvent, RunFinished, RunStarted,
-                     RunWarning)
+from .events import (CellDone, ExecutorDegraded, JobQuarantined, JobRetried,
+                     RunEvent, RunFinished, RunStarted, RunWarning,
+                     WorkerLost)
 from .registry import Experiment
 from .report import RunReport, SeriesReport, series_from_sweeps
 from .request import RunRequest
 
 __all__ = ["RunContext", "RunHandle"]
+
+#: engine resilience record type -> mirrored api event type (the field
+#: names match pairwise, so relaying is a plain asdict round-trip)
+_ENGINE_EVENTS = {
+    core_resilience.JobRetried: JobRetried,
+    core_resilience.JobQuarantined: JobQuarantined,
+    core_resilience.WorkerLost: WorkerLost,
+    core_resilience.ExecutorDegraded: ExecutorDegraded,
+}
 
 
 class RunContext:
@@ -68,11 +80,20 @@ class RunContext:
         """
         if self._executor_obj is None:
             executor = get_executor(self.request.executor,
-                                    self.request.n_jobs)
+                                    self.request.n_jobs,
+                                    self.request.retry_policy())
             if hasattr(executor, "on_warning"):
                 executor.on_warning = self.warn
+            if hasattr(executor, "on_event"):
+                executor.on_event = self._relay_engine_event
             self._executor_obj = executor
         return self._executor_obj
+
+    def _relay_engine_event(self, record) -> None:
+        """Mirror one engine resilience record as its typed api event."""
+        cls = _ENGINE_EVENTS.get(type(record))
+        if cls is not None:
+            self.emit(cls(**asdict(record)))
 
     def engine_kwargs(self) -> dict:
         """Keyword arguments for :class:`~repro.core.FaultCampaign` (and

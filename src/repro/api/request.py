@@ -51,6 +51,19 @@ class RunRequest:
     quick:
         Apply the experiment's declared quick overrides (tiny smoke
         sizes) underneath ``params``.
+    retries:
+        Extra attempts per campaign cell before quarantine (so
+        ``retries=2`` means up to 3 attempts).  ``0`` still arms the
+        supervision layer — lost workers trigger pool rebuilds and the
+        degradation ladder — it just never re-attempts a *failing* job.
+    job_timeout:
+        Per-cell wall-clock budget in seconds; a cell exceeding it is
+        treated as a failed attempt (the worker pool is rebuilt to
+        reclaim the stuck worker).  ``None`` disables timeouts.
+    degrade:
+        Walk the executor degradation ladder
+        (``shared_memory`` → ``multiprocessing`` → ``serial``) when a
+        rung keeps failing; ``False`` raises instead (``--no-degrade``).
     """
 
     experiment: str
@@ -62,6 +75,9 @@ class RunRequest:
     journal: str | Path | None = None
     resume: bool = False
     quick: bool = False
+    retries: int = 2
+    job_timeout: float | None = None
+    degrade: bool = True
 
     def __post_init__(self):
         if not self.experiment or not isinstance(self.experiment, str):
@@ -86,6 +102,14 @@ class RunRequest:
         if self.resume and self.journal is None:
             raise ApiError("resume requires a journal path "
                            "(--journal PATH); nothing to resume")
+        if not isinstance(self.retries, int) or self.retries < 0:
+            raise ApiError(f"retries must be a non-negative int, "
+                           f"got {self.retries!r}")
+        if self.job_timeout is not None and (
+                not isinstance(self.job_timeout, (int, float))
+                or self.job_timeout <= 0):
+            raise ApiError(f"job_timeout must be a positive number of "
+                           f"seconds or None, got {self.job_timeout!r}")
 
     def engine(self) -> dict:
         """The request's engine options as a JSON-able dict (recorded on
@@ -98,4 +122,15 @@ class RunRequest:
             "journal": str(self.journal) if self.journal else None,
             "resume": self.resume,
             "quick": self.quick,
+            "retries": self.retries,
+            "job_timeout": self.job_timeout,
+            "degrade": self.degrade,
         }
+
+    def retry_policy(self):
+        """The :class:`~repro.core.resilience.RetryPolicy` these options
+        arm on the executor."""
+        from ..core.resilience import RetryPolicy
+        return RetryPolicy(max_attempts=self.retries + 1,
+                           job_timeout=self.job_timeout,
+                           degrade=self.degrade)

@@ -55,7 +55,8 @@ def _event_renderer(show_cells: bool, stream=None):
     always surfaced; per-cell lines only when the caller asked
     (``show_cells`` — journaled or ``--progress`` runs).
     """
-    from .api import CellDone, CheckpointDone, RunWarning
+    from .api import (CellDone, CheckpointDone, ExecutorDegraded,
+                      JobQuarantined, JobRetried, RunWarning, WorkerLost)
     out = stream or sys.stderr
 
     def render(event):
@@ -68,6 +69,21 @@ def _event_renderer(show_cells: bool, stream=None):
                   f"(age {event.age:g}) complete", file=out)
         elif isinstance(event, RunWarning):
             print(f"warning: {event.message}", file=out)
+        elif isinstance(event, JobRetried):
+            print(f"retry: cell ({event.point}, {event.repeat}) "
+                  f"attempt {event.attempt} failed ({event.cause}); "
+                  f"retrying in {event.delay:g}s", file=out)
+        elif isinstance(event, JobQuarantined):
+            print(f"quarantined: cell ({event.point}, {event.repeat}) "
+                  f"failed {event.attempts} attempt(s); its accuracy "
+                  "is NaN", file=out)
+        elif isinstance(event, WorkerLost):
+            print(f"worker lost: {event.reason}; pool rebuilt, "
+                  f"{event.in_flight} in-flight job(s) re-dispatched",
+                  file=out)
+        elif isinstance(event, ExecutorDegraded):
+            print(f"degrading executor: {event.from_mode} -> "
+                  f"{event.to_mode} ({event.reason})", file=out)
     return render
 
 
@@ -104,7 +120,9 @@ def _cmd_run(args) -> int:
         params=_parse_param_tokens(args.param),
         executor=_default_executor(args), n_jobs=args.jobs or None,
         backend=args.backend, cache_bytes=_cache_bytes(args),
-        journal=args.journal, resume=args.resume, quick=args.quick)
+        journal=args.journal, resume=args.resume, quick=args.quick,
+        retries=args.retries, job_timeout=args.job_timeout,
+        degrade=not args.no_degrade)
     handle = api.submit(request)
     handle.subscribe(_event_renderer(
         show_cells=args.progress or bool(args.journal)))
@@ -277,7 +295,9 @@ def _cmd_sweep(args) -> int:
                     rows=args.rows, cols=args.cols),
         executor=_default_executor(args), n_jobs=args.jobs or None,
         backend=args.backend, cache_bytes=_cache_bytes(args),
-        journal=args.journal, resume=args.resume)
+        journal=args.journal, resume=args.resume,
+        retries=args.retries, job_timeout=args.job_timeout,
+        degrade=not args.no_degrade)
     handle = api.submit(request)
     handle.subscribe(_event_renderer(show_cells=bool(args.journal)))
     result = handle.run().raw
@@ -333,7 +353,9 @@ def _cmd_scenarios_run(args) -> int:
                     seed=args.seed),
         executor=_default_executor(args), n_jobs=args.jobs or None,
         backend=args.backend, cache_bytes=_cache_bytes(args),
-        journal=args.journal, resume=args.resume)
+        journal=args.journal, resume=args.resume,
+        retries=args.retries, job_timeout=args.job_timeout,
+        degrade=not args.no_degrade)
     handle = api.submit(request)
     handle.subscribe(_event_renderer(show_cells=bool(args.journal)))
     result = handle.run().raw
@@ -425,6 +447,21 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                              "series)")
     parser.add_argument("--resume", action="store_true",
                         help="allow continuing existing --journal files")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="extra attempts per campaign cell before it "
+                             "is quarantined as NaN (default 2; 0 still "
+                             "recovers lost workers, it just never "
+                             "re-attempts a failing cell)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell wall-clock budget; a cell "
+                             "exceeding it counts as a failed attempt "
+                             "and the pool is rebuilt (default: none)")
+    parser.add_argument("--no-degrade", action="store_true",
+                        help="fail instead of walking the executor "
+                             "degradation ladder (shared_memory -> "
+                             "multiprocessing -> serial) when a rung "
+                             "keeps failing")
 
 
 def build_parser() -> argparse.ArgumentParser:

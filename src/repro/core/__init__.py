@@ -19,6 +19,8 @@ from .generator import FaultGenerator, FaultPlan, mapped_layers
 from .injector import FaultInjector
 from .journal import CampaignJournal
 from .mapping import LayerMapping, tile_vector
+from .resilience import (ExecutorDegraded, JobQuarantined, JobRetried,
+                         RetryPolicy, SupervisorGaveUp, WorkerLost)
 from .masks import (LayerMasks, assemble_layer_masks, build_bitflip_mask,
                     build_clustered_mask, build_line_mask, build_rate_mask,
                     build_row_burst_mask, build_stuck_mask)
@@ -37,6 +39,8 @@ __all__ = [
     "MultiprocessingExecutor", "SharedMemoryExecutor",
     "SharedPlaneRegistry", "CampaignJournal",
     "build_jobs", "get_executor", "plan_has_faults",
+    "RetryPolicy", "SupervisorGaveUp", "JobRetried", "JobQuarantined",
+    "WorkerLost", "ExecutorDegraded",
     "save_fault_vectors", "load_fault_vectors",
     "march_test", "masks_from_detection", "remap_columns",
     "majority_vote_predict",

@@ -118,20 +118,26 @@ class FaultCampaign:
         so this is the effective campaign footprint.  The cache is sized
         to the campaign's batch count and keyed per evaluator, so
         concurrent campaigns on one model never thrash each other.
+    policy:
+        A :class:`~repro.core.resilience.RetryPolicy` arming retries,
+        per-job timeouts, poison-job quarantine, and the executor
+        degradation ladder.  ``None`` (default) keeps the legacy
+        behavior: any job failure aborts the run.
     """
 
     def __init__(self, model: Sequential, x_test: np.ndarray, y_test: np.ndarray,
                  rows: int = 40, cols: int = 10, batch_size: int = 256,
                  continue_time_across_layers: bool = True,
                  executor: str | object = "serial", n_jobs: int | None = None,
-                 backend: str = "float", cache_bytes: int | None = None):
+                 backend: str = "float", cache_bytes: int | None = None,
+                 policy=None):
         self.model = model
         self.rows = rows
         self.cols = cols
         self.batch_size = batch_size
         self.continue_time = continue_time_across_layers
         self.backend = backend
-        self._executor = get_executor(executor, n_jobs)
+        self._executor = get_executor(executor, n_jobs, policy)
         self._evaluator = CampaignEvaluator(
             model, x_test, y_test, batch_size=batch_size,
             continue_time_across_layers=continue_time_across_layers,
@@ -184,7 +190,7 @@ class FaultCampaign:
     def run(self, spec_factory: Callable[[float], list[FaultSpec] | FaultSpec],
             xs: Sequence[float], repeats: int = 10, seed: int = 0,
             layers: list[str] | None = None, label: str = "sweep",
-            journal=None,
+            journal=None, journal_fsync: bool = False,
             progress: Callable[[int, int, tuple], None] | None = None
             ) -> SweepResult:
         """Sweep ``xs`` through ``spec_factory``, re-seeding per repetition.
@@ -214,7 +220,13 @@ class FaultCampaign:
             JSONL file receiving every completed cell as it streams out
             of the executor; cells already recorded there (from an
             interrupted earlier run of the *same* grid — validated via
-            header + data/weights fingerprint) are skipped.
+            header + data/weights fingerprint) are skipped.  Resilience
+            events (retries, quarantines, worker losses, degradations)
+            are journaled as audit lines alongside the cells.
+        journal_fsync : bool
+            ``os.fsync`` every journal append so it survives OS crashes
+            and power loss, not just process kills (slower; off by
+            default).
         progress : callable, optional
             ``progress(done, total, (point, repeat, accuracy))`` called
             after each freshly evaluated cell.
@@ -241,7 +253,10 @@ class FaultCampaign:
                       "specs": [_describe_specs(spec_factory, x) for x in xs],
                       "fingerprint": self._fingerprint(),
                       "label": label}
-            journal_obj = CampaignJournal(journal, header).open()
+            journal_obj = CampaignJournal(
+                journal, header, fsync=journal_fsync,
+                on_warning=getattr(self._executor, "on_warning",
+                                   None)).open()
             skip = set()
             for (i, j), accuracy in journal_obj.completed.items():
                 if i < len(xs) and j < repeats:
@@ -253,17 +268,30 @@ class FaultCampaign:
         jobs = build_jobs(self.model, spec_factory, xs, repeats, seed,
                           self.rows, self.cols, layers, skip=skip)
         done = resumed
+        saved_on_event = getattr(self._executor, "on_event", None)
+        if journal_obj is not None and hasattr(self._executor, "on_event"):
+            # tee resilience events into the journal's audit trail
+            # without detaching whoever else is listening (the api layer)
+            def _tap(record, _prior=saved_on_event):
+                journal_obj.note(record)
+                if _prior is not None:
+                    _prior(record)
+            self._executor.on_event = _tap
         try:
             for i, j, accuracy in self._iter_results(jobs):
                 accuracies[i, j] = accuracy
                 done += 1
-                if journal_obj is not None:
+                if journal_obj is not None and accuracy == accuracy:
+                    # quarantined (NaN) cells stay un-journaled so a
+                    # resumed run re-attempts them
                     journal_obj.record(i, j, xs[i], accuracy)
                 if progress is not None:
                     progress(done, total, (i, j, accuracy))
         finally:
             if journal_obj is not None:
                 journal_obj.close()
+                if hasattr(self._executor, "on_event"):
+                    self._executor.on_event = saved_on_event
         meta = {"rows": self.rows, "cols": self.cols,
                 "repeats": repeats, "layers": layers,
                 "executor": getattr(self._executor, "name",
@@ -273,6 +301,11 @@ class FaultCampaign:
         prefix_plane = getattr(self._executor, "prefix_plane", None)
         if prefix_plane is not None:
             meta["prefix_plane"] = prefix_plane
+        resilience = getattr(self._executor, "resilience", None)
+        if resilience and any(resilience.values()):
+            meta["resilience"] = {key: (list(value)
+                                        if isinstance(value, list) else value)
+                                  for key, value in resilience.items()}
         if journal is not None:
             meta["journal"] = str(journal)
             meta["resumed_cells"] = resumed

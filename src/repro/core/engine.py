@@ -95,6 +95,7 @@ import hashlib
 import math
 import os
 import pickle
+import warnings
 import weakref
 from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager
@@ -106,6 +107,9 @@ from ..nn.model import Sequential
 from .faults import FaultSpec
 from .generator import FaultGenerator, FaultPlan, mapped_layers
 from .injector import FaultInjector
+from .resilience import (ExecutorDegraded, PoolSupervisor, RetryPolicy,
+                         SupervisorGaveUp, new_stats, note_stats,
+                         supervised_serial)
 
 __all__ = [
     "CampaignJob",
@@ -559,18 +563,41 @@ class CampaignEvaluator:
 
 # -- shared-memory planes --------------------------------------------------
 
-def _release_shared_blocks(blocks: list) -> None:
-    """Close + unlink every owned block (idempotent; finalizer-safe)."""
+def _cleanup_warning(warn: Callable[[str], None] | None, message: str) -> None:
+    """Surface a shared-memory cleanup failure: through the caller's
+    ``on_warning`` hook when one is wired, else as a ResourceWarning —
+    never silently (a swallowed unlink failure is a leaked ``psm_*``
+    block until reboot)."""
+    if warn is not None:
+        warn(message)
+    else:
+        warnings.warn(message, ResourceWarning, stacklevel=3)
+
+
+def _release_shared_blocks(blocks: list,
+                           warn: Callable[[str], None] | None = None) -> None:
+    """Close + unlink every owned block (idempotent; finalizer-safe).
+
+    Failures are reported via ``warn``/ResourceWarning but never raised:
+    this runs from ``finally`` blocks and weakref finalizers, where an
+    exception would mask the original error (or abort interpreter
+    shutdown) while still leaking the remaining blocks.
+    """
     while blocks:
         shm = blocks.pop()
         try:
             shm.close()
-        except Exception:
-            pass
+        except Exception as error:
+            _cleanup_warning(warn, "failed to close shared-memory block "
+                                   f"{shm.name}: {error!r}")
         try:
             shm.unlink()
         except FileNotFoundError:
-            pass
+            pass  # already unlinked (double release, external cleanup)
+        except Exception as error:
+            _cleanup_warning(warn, "failed to unlink shared-memory block "
+                                   f"{shm.name}: {error!r}; it may stay "
+                                   "allocated until reboot")
 
 
 class SharedPlaneRegistry:
@@ -596,6 +623,11 @@ class SharedPlaneRegistry:
         self.fingerprint = fingerprint
         self._owned: list = []      # blocks this registry created
         self._attached: list = []   # blocks this registry merely mapped
+        #: cleanup-failure hook (``on_warning(message)``); ``None`` falls
+        #: back to a ResourceWarning.  The finalizer below deliberately
+        #: keeps the warnings-module default: binding a callback here
+        #: would pin the callback's owner (typically the executor) alive.
+        self.on_warning: Callable[[str], None] | None = None
         self._finalizer = weakref.finalize(self, _release_shared_blocks,
                                            self._owned)
 
@@ -667,22 +699,51 @@ class SharedPlaneRegistry:
                 return
 
     def release(self) -> None:
-        """Close every mapping and unlink the owned blocks (idempotent)."""
+        """Close every mapping and unlink the owned blocks (idempotent).
+        Cleanup failures are surfaced through :attr:`on_warning` (or a
+        ResourceWarning), never swallowed and never raised."""
         for shm in self._attached:
             try:
                 shm.close()
-            except Exception:
-                pass
+            except Exception as error:
+                _cleanup_warning(self.on_warning,
+                                 "failed to close attached shared-memory "
+                                 f"block {shm.name}: {error!r}")
         self._attached.clear()
-        _release_shared_blocks(self._owned)
+        _release_shared_blocks(self._owned, warn=self.on_warning)
 
 
 # -- executors ------------------------------------------------------------
 
+def _task_key(task) -> tuple[int, int]:
+    """Grid coordinates of a task — a bare :class:`CampaignJob` or a
+    ``(job, shard, n_shards)`` shard tuple."""
+    job = task[0] if isinstance(task, tuple) else task
+    return job.point_index, job.repeat_index
+
+
 class SerialExecutor:
-    """In-process job loop; shares the caller's evaluator and caches."""
+    """In-process job loop; shares the caller's evaluator and caches.
+
+    With a :class:`~repro.core.resilience.RetryPolicy` the loop retries
+    failed jobs with backoff and quarantines poison jobs (their cells
+    yield NaN) under the same contract as the pool executors; with
+    ``policy=None`` (the default) the first failure raises.
+    """
 
     name = "serial"
+
+    def __init__(self, policy: RetryPolicy | None = None):
+        self.policy = policy
+        #: receives resilience event records (JobRetried/JobQuarantined)
+        self.on_event: Callable | None = None
+        #: per-run resilience summary (see resilience.new_stats)
+        self.resilience: dict = new_stats()
+
+    def _emit(self, record) -> None:
+        note_stats(self.resilience, record)
+        if self.on_event is not None:
+            self.on_event(record)
 
     def run(self, jobs: Sequence[CampaignJob],
             evaluator: CampaignEvaluator) -> list[JobResult]:
@@ -694,8 +755,14 @@ class SerialExecutor:
         """Stream ``(point, repeat, accuracy)`` per job as it completes,
         in job order (pre-generated plans make order irrelevant to the
         values — only to the streaming sequence)."""
-        for job in jobs:
-            yield evaluator.run_job(job)
+        self.resilience = new_stats()
+        for job, (kind, value) in supervised_serial(
+                jobs, evaluator.run_job, self.policy, key=_task_key,
+                on_event=self._emit):
+            if kind == "ok":
+                yield value
+            else:
+                yield job.point_index, job.repeat_index, float("nan")
 
 
 _WORKER_EVALUATOR: CampaignEvaluator | None = None
@@ -833,15 +900,30 @@ class MultiprocessingExecutor:
     When the job grid is smaller than the pool, evaluation splits at the
     batch level instead: each worker scores a shard of the test batches
     and the parent reduces the integer ``(correct, total)`` counts.
+
+    With a :class:`~repro.core.resilience.RetryPolicy` the pool runs
+    under a :class:`~repro.core.resilience.PoolSupervisor`: failed jobs
+    retry with backoff and are quarantined (NaN cells) after
+    ``max_attempts``; lost workers trigger a pool rebuild that
+    re-dispatches only the in-flight jobs; and when a rung keeps failing
+    the executor walks down its :attr:`ladder` — ultimately running the
+    remaining jobs in-process — so a campaign always completes with
+    bit-identical accuracies for every cell that completes anywhere.
+    ``policy=None`` (the default) keeps the legacy semantics: one
+    attempt, first failure raises.
     """
 
     name = "multiprocessing"
-    _initializer = staticmethod(_init_worker)
+    #: degradation ladder, first rung first; the final "serial" rung
+    #: runs on the caller's evaluator and cannot lose workers
+    ladder: tuple[str, ...] = ("multiprocessing", "serial")
 
-    def __init__(self, n_jobs: int | None = None):
+    def __init__(self, n_jobs: int | None = None,
+                 policy: RetryPolicy | None = None):
         if not n_jobs or n_jobs <= 0:
             n_jobs = int(os.environ.get("REPRO_N_JOBS", 0) or 0)
         self.n_jobs = n_jobs if n_jobs > 0 else (os.cpu_count() or 1)
+        self.policy = policy
         #: serialized size of the per-worker initializer payload on the
         #: most recent pooled run, arrays counted at ``nbytes`` (0 after a
         #: serial fallback, None before any run) — see _payload_nbytes
@@ -855,10 +937,21 @@ class MultiprocessingExecutor:
         #: API (:mod:`repro.api`) wires this to its typed
         #: ``RunWarning`` events; ``None`` stays silent.
         self.on_warning: Callable[[str], None] | None = None
+        #: event hook for typed resilience records (JobRetried,
+        #: JobQuarantined, WorkerLost, ExecutorDegraded); campaigns tap
+        #: this to journal events, the API mirrors them as run events
+        self.on_event: Callable | None = None
+        #: per-run resilience summary (see resilience.new_stats)
+        self.resilience: dict = new_stats()
 
     def _notify(self, message: str) -> None:
         if self.on_warning is not None:
             self.on_warning(message)
+
+    def _emit(self, record) -> None:
+        note_stats(self.resilience, record)
+        if self.on_event is not None:
+            self.on_event(record)
 
     def _make_payload(self, evaluator: CampaignEvaluator
                       ) -> tuple[dict, Callable[[bool], None]]:
@@ -898,13 +991,17 @@ class MultiprocessingExecutor:
                  evaluator: CampaignEvaluator) -> Iterator[JobResult]:
         """Stream ``(point, repeat, accuracy)`` results as cells complete.
 
-        Results arrive *unordered* (``imap_unordered``) but are
-        bit-identical to the serial executor for every cell: plans are
-        pre-generated and the per-batch arithmetic is unchanged.  Pools
-        of one worker (or single-job grids that cannot shard) fall back
-        to the in-process serial loop.
+        Results arrive *unordered* but are bit-identical to the serial
+        executor for every cell: plans are pre-generated and the
+        per-batch arithmetic is unchanged — which is also why worker
+        loss, retries, and executor degradation can never change a
+        value, only where and when it is computed.  Pools of one worker
+        (or single-job grids that cannot shard) fall back to the
+        in-process serial loop.  Quarantined jobs yield NaN for their
+        cell (sharded cells quarantine whole).
         """
         jobs = list(jobs)
+        self.resilience = new_stats()
         n_shards = self._shard_count(len(jobs), self._n_batches(evaluator))
         if self.n_jobs == 1 or (len(jobs) <= 1 and n_shards <= 1):
             if self.n_jobs > 1:
@@ -914,53 +1011,166 @@ class MultiprocessingExecutor:
                     "in-process serial loop")
             self.payload_bytes = 0
             self.prefix_plane = None  # this run attached no planes
-            yield from SerialExecutor().run_iter(jobs, evaluator)
+            yield from self._run_rung_serial(jobs, evaluator, sharded=False,
+                                             reduce=self._make_reducer(
+                                                 False, 1))
             return
-        import multiprocessing
-
-        payload, cleanup = self._make_payload(evaluator)
-        success = False
-        try:
+        if n_shards > 1:
+            tasks: list = [(job, shard, n_shards)
+                           for job in jobs for shard in range(n_shards)]
+            sharded = True
+        else:
+            tasks = jobs
+            sharded = False
+        # the cross-rung reducer: shard counts accumulated on one rung
+        # finish reducing on the next, so degradation mid-cell is exact
+        reduce = self._make_reducer(sharded, n_shards)
+        modes = list(self.ladder)
+        if self.policy is None or not self.policy.degrade:
+            modes = modes[:1]
+        remaining = tasks
+        for rung, mode in enumerate(modes):
+            if mode == "serial":
+                yield from self._run_rung_serial(remaining, evaluator,
+                                                 sharded=sharded,
+                                                 reduce=reduce)
+                return
+            try:
+                payload, initializer, cleanup = self._payload_for_mode(
+                    mode, evaluator)
+            except Exception as error:
+                if rung + 1 >= len(modes):
+                    raise
+                self._emit(ExecutorDegraded(
+                    from_mode=mode, to_mode=modes[rung + 1],
+                    reason=f"worker payload setup failed: {error!r}"))
+                continue
+            job_fn, shard_fn = self._pool_functions(mode)
             with _transient_state_stashed(evaluator.model):
                 self.payload_bytes = _payload_nbytes(payload)
-                pool = multiprocessing.Pool(self.n_jobs,
-                                            initializer=self._initializer,
-                                            initargs=(payload,))
+
+            def pool_factory(payload=payload, initializer=initializer):
+                import multiprocessing
+                with _transient_state_stashed(evaluator.model):
+                    return multiprocessing.Pool(self.n_jobs,
+                                                initializer=initializer,
+                                                initargs=(payload,))
+
+            window = (self.n_jobs
+                      if self.policy is not None
+                      and self.policy.job_timeout is not None
+                      else 2 * self.n_jobs)
+            supervisor = PoolSupervisor(
+                pool_factory, shard_fn if sharded else job_fn, remaining,
+                self.policy, key=_task_key, on_event=self._emit,
+                window=window)
+            stream = supervisor.run()
+            rung_done = False
             try:
-                if n_shards > 1:
-                    yield from self._run_sharded(pool, jobs, n_shards)
-                else:
-                    chunksize = max(1, len(jobs) // (4 * self.n_jobs))
-                    yield from pool.imap_unordered(_run_worker_job, jobs,
-                                                   chunksize=chunksize)
+                for task, outcome in stream:
+                    yield from reduce(task, outcome)
+                rung_done = True
+            except SupervisorGaveUp as failure:
+                if rung + 1 >= len(modes):
+                    raise
+                remaining = supervisor.unfinished()
+                self._emit(ExecutorDegraded(from_mode=mode,
+                                            to_mode=modes[rung + 1],
+                                            reason=str(failure)))
             finally:
-                pool.terminate()
-                pool.join()
-            success = True
-        finally:
-            cleanup(success)
+                stream.close()
+                cleanup(rung_done)
+                if not rung_done and mode == "shared_memory":
+                    # the planes this run advertised were just released
+                    self.prefix_plane = None
+            if rung_done:
+                return
+
+    def _run_rung_serial(self, tasks: Sequence, evaluator: CampaignEvaluator,
+                         *, sharded: bool, reduce) -> Iterator[JobResult]:
+        """The bottom rung (and the tiny-grid fallback): run the
+        remaining tasks on the caller's evaluator under the same
+        retry/quarantine contract."""
+        if sharded:
+            def call(task):
+                job, shard, n_shards = task
+                correct, total = evaluator.evaluate_plan_counts(
+                    job.plan, shard, n_shards)
+                return job.point_index, job.repeat_index, correct, total
+        else:
+            call = evaluator.run_job
+        for task, outcome in supervised_serial(tasks, call, self.policy,
+                                               key=_task_key,
+                                               on_event=self._emit):
+            yield from reduce(task, outcome)
+
+    @staticmethod
+    def _make_reducer(sharded: bool, n_shards: int):
+        """``reduce(task, outcome) -> iterator of JobResult``.
+
+        Unsharded: pass results through, NaN for quarantined jobs.
+        Sharded: sum integer ``(correct, total)`` per cell and emit the
+        cell once complete — ``sum(correct)/sum(total)`` equals the
+        unsharded accuracy bit-for-bit; a quarantined shard quarantines
+        its whole cell (one NaN, later shards of that cell ignored).
+        The reducer's state lives across rungs of the degradation
+        ladder, so a cell split between two rungs still reduces exactly.
+        """
+        if not sharded:
+            def reduce(task, outcome):
+                kind, value = outcome
+                if kind == "ok":
+                    yield value
+                else:
+                    yield task.point_index, task.repeat_index, float("nan")
+            return reduce
+
+        cells: dict[tuple[int, int], list[int]] = {}
+        dead: set[tuple[int, int]] = set()
+
+        def reduce(task, outcome):
+            coord = _task_key(task)
+            kind, value = outcome
+            if kind != "ok":
+                if coord not in dead:
+                    dead.add(coord)
+                    cells.pop(coord, None)
+                    yield coord[0], coord[1], float("nan")
+                return
+            if coord in dead:
+                return  # a straggler shard of a quarantined cell
+            entry = cells.setdefault(coord, [0, 0, n_shards])
+            entry[0] += value[2]
+            entry[1] += value[3]
+            entry[2] -= 1
+            if entry[2] == 0:
+                del cells[coord]
+                yield coord[0], coord[1], entry[0] / entry[1]
+        return reduce
+
+    def _payload_for_mode(self, mode: str, evaluator: CampaignEvaluator
+                          ) -> tuple[dict, Callable, Callable[[bool], None]]:
+        """``(payload, initializer, cleanup)`` for one ladder rung.
+
+        Subclasses add rungs by handling their mode and delegating the
+        rest to ``super()``; the chaos harness wraps the returned pieces
+        to inject failures without touching dispatch logic.
+        """
+        if mode != "multiprocessing":
+            raise ValueError(f"unknown executor mode {mode!r}")
+        payload, cleanup = MultiprocessingExecutor._make_payload(
+            self, evaluator)
+        return payload, _init_worker, cleanup
+
+    def _pool_functions(self, mode: str) -> tuple[Callable, Callable]:
+        """The (job, shard) functions dispatched to pool workers, looked
+        up late from the module globals so tests (and the chaos harness)
+        can substitute them."""
+        return _run_worker_job, _run_worker_shard
 
     @staticmethod
     def _n_batches(evaluator: CampaignEvaluator) -> int:
         return math.ceil(len(evaluator.x_test) / evaluator.batch_size)
-
-    @staticmethod
-    def _run_sharded(pool, jobs: Sequence[CampaignJob], n_shards: int
-                     ) -> Iterator[JobResult]:
-        """Batch-level splitter: shard each job across the pool and reduce
-        integer counts; yields each cell once its shards all arrived."""
-        tasks = [(job, shard, n_shards)
-                 for job in jobs for shard in range(n_shards)]
-        pending: dict[tuple[int, int], list[int]] = {}
-        for i, j, correct, total in pool.imap_unordered(_run_worker_shard,
-                                                        tasks):
-            entry = pending.setdefault((i, j), [0, 0, n_shards])
-            entry[0] += correct
-            entry[1] += total
-            entry[2] -= 1
-            if entry[2] == 0:
-                del pending[(i, j)]
-                yield i, j, entry[0] / entry[1]
 
 
 class SharedMemoryExecutor(MultiprocessingExecutor):
@@ -984,13 +1194,21 @@ class SharedMemoryExecutor(MultiprocessingExecutor):
     """
 
     name = "shared_memory"
-    _initializer = staticmethod(_init_worker_shm)
+    ladder: tuple[str, ...] = ("shared_memory", "multiprocessing", "serial")
 
-    def __init__(self, n_jobs: int | None = None):
-        super().__init__(n_jobs)
+    def __init__(self, n_jobs: int | None = None,
+                 policy: RetryPolicy | None = None):
+        super().__init__(n_jobs, policy)
         self._registry: SharedPlaneRegistry | None = None
         self._payload: dict | None = None
         self._prefix_info: dict | None = None
+
+    def _payload_for_mode(self, mode: str, evaluator: CampaignEvaluator
+                          ) -> tuple[dict, Callable, Callable[[bool], None]]:
+        if mode != "shared_memory":
+            return super()._payload_for_mode(mode, evaluator)
+        payload, cleanup = self._make_payload(evaluator)
+        return payload, _init_worker_shm, cleanup
 
     def release_planes(self) -> None:
         """Unlink every published plane now (idempotent).  Called on
@@ -1062,6 +1280,7 @@ class SharedMemoryExecutor(MultiprocessingExecutor):
             return self._payload, cleanup
         self.release_planes()
         registry = SharedPlaneRegistry(fingerprint=fingerprint)
+        registry.on_warning = self.on_warning
         try:
             x_desc = registry.publish(evaluator.x_test, label="x_test")
             y_desc = registry.publish(evaluator.y_test, label="y_test")
@@ -1123,9 +1342,13 @@ _EXECUTORS = {
 }
 
 
-def get_executor(executor, n_jobs: int | None = None):
+def get_executor(executor, n_jobs: int | None = None,
+                 policy: RetryPolicy | None = None):
     """Resolve an executor by name ('serial' / 'multiprocessing' /
-    'shared_memory') or pass executor objects through."""
+    'shared_memory') or pass executor objects through.  ``policy``
+    (a :class:`~repro.core.resilience.RetryPolicy`) arms retries,
+    per-job timeouts, and the degradation ladder; ``None`` keeps the
+    legacy raise-on-first-failure behavior."""
     if not isinstance(executor, str):
         return executor
     cls = _EXECUTORS.get(executor)
@@ -1133,5 +1356,5 @@ def get_executor(executor, n_jobs: int | None = None):
         raise ValueError(f"unknown executor {executor!r}; use 'serial', "
                          "'multiprocessing' or 'shared_memory'")
     if cls is SerialExecutor:
-        return cls()
-    return cls(n_jobs)
+        return cls(policy=policy)
+    return cls(n_jobs, policy=policy)

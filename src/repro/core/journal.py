@@ -19,13 +19,24 @@ snapshot + model weights); every following line is a result cell::
 
 Resuming validates the header against the requested grid and refuses to
 mix journals across campaigns.  A torn final line (the process was killed
-mid-write) is ignored; that cell is simply re-evaluated.
+mid-write) is discarded with a warning; that cell is simply re-evaluated.
+Corruption anywhere *before* the final line is not a crash artifact of
+append-only writes and is refused outright.
+
+Besides result cells, the journal records resilience events (worker
+losses, retries, quarantined cells, executor degradations) as
+``{"kind": "event", ...}`` note lines — an audit trail of what the
+supervision layer did to complete the run.  Event lines are ignored when
+resuming.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+import warnings
+from collections.abc import Callable
 from pathlib import Path
 
 __all__ = ["CampaignJournal"]
@@ -48,14 +59,32 @@ class CampaignJournal:
         Journal file; created (with its parent directory) on first use.
     header:
         Grid description; must contain the :data:`_GRID_KEYS` fields.
+    fsync:
+        When True, every appended line is also ``os.fsync``-ed so it
+        survives an OS crash or power loss, not just a process kill.
+        Off by default: an fsync per cell can dominate short campaigns,
+        and a torn tail from a process kill is already recoverable.
+    on_warning:
+        Callable receiving non-fatal diagnostics (e.g. a torn trailing
+        line being discarded).  ``None`` falls back to
+        :func:`warnings.warn`.
     """
 
-    def __init__(self, path, header: dict):
+    def __init__(self, path, header: dict, *, fsync: bool = False,
+                 on_warning: Callable[[str], None] | None = None):
         self.path = Path(path)
         self.header = {"kind": "header", "version": _VERSION, **header}
+        self.fsync = fsync
+        self.on_warning = on_warning
         #: cells already on disk: (point, repeat) -> accuracy
         self.completed: dict[tuple[int, int], float] = {}
         self._handle = None
+
+    def _warn(self, message: str) -> None:
+        if self.on_warning is not None:
+            self.on_warning(message)
+        else:
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
 
     # -- lifecycle -------------------------------------------------------
     def open(self) -> "CampaignJournal":
@@ -113,11 +142,26 @@ class CampaignJournal:
                     f"journal {self.path} was written for a different "
                     f"campaign: {key}={head.get(key)!r} on disk vs "
                     f"{self.header.get(key)!r} requested")
-        for line in lines[1:]:
+        body = [(number, line) for number, line in
+                enumerate(lines[1:], start=2) if line.strip()]
+        for position, (number, line) in enumerate(body):
             try:
                 cell = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail from a killed writer: re-evaluate it
+            except json.JSONDecodeError as error:
+                if position == len(body) - 1:
+                    # torn tail from a killed writer: warn, re-evaluate it
+                    self._warn(
+                        f"journal {self.path} ends in a torn line "
+                        "(the writer died mid-append); discarding it — "
+                        "that cell will be re-evaluated")
+                    break
+                # mid-file damage is not an append-crash artifact: the
+                # journal cannot be trusted, so refuse rather than guess
+                raise ValueError(
+                    f"journal {self.path} is corrupt at line {number} "
+                    "(damage before the final line cannot come from an "
+                    "interrupted append); refusing to resume from it"
+                ) from error
             if "point" in cell and "repeat" in cell and "accuracy" in cell:
                 self.completed[(cell["point"], cell["repeat"])] = \
                     cell["accuracy"]
@@ -125,11 +169,12 @@ class CampaignJournal:
     def _write_line(self, payload: dict) -> None:
         self._handle.write(json.dumps(payload) + "\n")
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def record(self, point: int, repeat: int, x: float,
                accuracy: float) -> None:
-        """Append one completed cell, durably (flush + fsync).
+        """Append one completed cell (flushed; fsync-ed when enabled).
 
         Accuracies round-trip exactly: Python floats serialize via
         ``repr`` (shortest round-trippable form), so a resumed
@@ -138,3 +183,12 @@ class CampaignJournal:
         self.completed[(point, repeat)] = accuracy
         self._write_line({"point": point, "repeat": repeat,
                           "x": float(x), "accuracy": float(accuracy)})
+
+    def note(self, record) -> None:
+        """Append one resilience event (a dataclass record from
+        :mod:`repro.core.resilience`) as an audit line.  Event lines are
+        skipped when resuming — they describe *how* the run completed,
+        not its results."""
+        self._write_line({"kind": "event",
+                          "event": type(record).__name__,
+                          **dataclasses.asdict(record)})

@@ -134,7 +134,7 @@ def run_scenario(scenario, model, x_test, y_test, *,
                  rows: int = 40, cols: int = 10, batch_size: int = 256,
                  executor: str | object = "serial",
                  n_jobs: int | None = None, backend: str = "float",
-                 cache_bytes: int | None = None, layers=None,
+                 cache_bytes: int | None = None, policy=None, layers=None,
                  journal=None,
                  progress: Callable[[int, int, tuple], None] | None = None,
                  grid: CompiledGrid | None = None) -> ScenarioResult:
@@ -158,7 +158,7 @@ def run_scenario(scenario, model, x_test, y_test, *,
     with FaultCampaign(model, x_test, y_test, rows=rows, cols=cols,
                        batch_size=batch_size, executor=executor,
                        n_jobs=n_jobs, backend=backend,
-                       cache_bytes=cache_bytes) as campaign:
+                       cache_bytes=cache_bytes, policy=policy) as campaign:
         sweep = campaign.run(grid.spec_factory, xs=grid.xs, repeats=repeats,
                              seed=seed, layers=layers, label=scenario.name,
                              journal=journal, progress=progress)
