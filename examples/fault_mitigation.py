@@ -18,7 +18,6 @@ decide when redundancy stops paying and the part must be replaced.
 Run:  python examples/fault_mitigation.py
 """
 
-import numpy as np
 
 from repro.analysis import ascii_plot
 from repro.core import FaultGenerator, majority_vote_predict

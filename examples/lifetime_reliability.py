@@ -10,7 +10,6 @@ operator would use to schedule replacement.
 Run:  python examples/lifetime_reliability.py
 """
 
-import numpy as np
 
 from repro.analysis import ascii_plot
 from repro.core import FaultCampaign, FaultSpec

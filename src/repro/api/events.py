@@ -35,6 +35,7 @@ fields, nothing mutates mid-stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = ["RunEvent", "RunStarted", "CellDone", "CheckpointDone",
            "RunWarning", "JobRetried", "JobQuarantined", "WorkerLost",
@@ -51,7 +52,7 @@ class RunStarted(RunEvent):
     """The run is about to start evaluating."""
 
     experiment: str
-    params: dict = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

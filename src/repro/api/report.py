@@ -124,8 +124,8 @@ def _jsonable(value):
     if hasattr(value, "item") and not isinstance(value, (str, bytes)):
         try:
             return value.item()  # numpy scalars
-        except Exception:
-            pass
+        except (AttributeError, TypeError, ValueError):
+            pass  # a non-numpy .item (dict-like) or a multi-element array
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return repr(value)

@@ -56,11 +56,17 @@ def _event_renderer(show_cells: bool, stream=None):
     (``show_cells`` — journaled or ``--progress`` runs).
     """
     from .api import (CellDone, CheckpointDone, ExecutorDegraded,
-                      JobQuarantined, JobRetried, RunWarning, WorkerLost)
+                      JobQuarantined, JobRetried, RunFinished, RunStarted,
+                      RunWarning, WorkerLost)
     out = stream or sys.stderr
 
     def render(event):
-        if isinstance(event, CellDone) and show_cells:
+        if isinstance(event, RunStarted):
+            if show_cells:
+                print(f"run: {event.experiment}", file=out)
+        elif isinstance(event, RunFinished):
+            return  # the command prints the assembled report itself
+        elif isinstance(event, CellDone) and show_cells:
             print(f"[{event.done}/{event.total}] {event.series} "
                   f"point {event.point} repeat {event.repeat}: "
                   f"{100 * event.accuracy:.1f}%", file=out)
@@ -385,6 +391,19 @@ def _cmd_scenarios_run(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Registry-independent static-analysis gate (``repro.lint``).
+
+    Exit codes follow the repo convention: 0 clean, 1 findings, 2
+    usage/validation errors (``LintUsageError`` is a ``ValueError``, so
+    :func:`main` maps it like every other validation failure).
+    """
+    from .lint import lint_command
+    return lint_command(args.paths, root=args.root, baseline=args.baseline,
+                        update_baseline=args.write_baseline,
+                        list_rules=args.list_rules, json_output=args.json)
+
+
 def _cmd_table1(args) -> int:
     from .experiments.tables import table1_setup
     for key, value in table1_setup():
@@ -557,6 +576,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_srun.add_argument("--seed", type=int, default=0)
     _add_engine_arguments(p_srun)
     p_srun.set_defaults(func=_cmd_scenarios_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="AST-based invariant checker (determinism, "
+                     "shared-memory lifecycle, event protocol)")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/ and "
+                             "tests/ under --root)")
+    p_lint.add_argument("--root", default=None, metavar="DIR",
+                        help="repository root for relative paths and "
+                             "per-module rules (default: cwd)")
+    p_lint.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file (default: "
+                             "<root>/lint-baseline.json when present)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline waiving every "
+                             "current finding")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_t1 = sub.add_parser("table1", help="experimental setup (Table I)")
     p_t1.set_defaults(func=_cmd_table1)

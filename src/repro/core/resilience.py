@@ -47,6 +47,7 @@ import time
 from collections import deque
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 __all__ = [
     "RetryPolicy",
@@ -105,7 +106,7 @@ class RetryPolicy:
     max_rebuilds: int = 2
     degrade: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, "
                              f"got {self.max_attempts}")
@@ -184,14 +185,14 @@ class SupervisorGaveUp(RuntimeError):
     ``degrade=False`` it propagates to the caller."""
 
 
-def new_stats() -> dict:
+def new_stats() -> dict[str, Any]:
     """A fresh per-run resilience summary (mutated by :func:`note_stats`,
     attached to ``SweepResult.meta["resilience"]`` when non-trivial)."""
     return {"retries": 0, "timeouts": 0, "quarantined": [],
             "workers_lost": 0, "degraded": []}
 
 
-def note_stats(stats: dict, record) -> None:
+def note_stats(stats: dict[str, Any], record: object) -> None:
     """Fold one resilience event into a :func:`new_stats` summary."""
     if isinstance(record, JobRetried):
         stats["retries"] += 1
@@ -207,26 +208,26 @@ def note_stats(stats: dict, record) -> None:
         stats["degraded"].append(f"{record.from_mode}->{record.to_mode}")
 
 
-def _default_key(task) -> tuple:
+def _default_key(task: object) -> tuple[int, int]:
     job = task[0] if isinstance(task, tuple) else task
     return (getattr(job, "point_index", -1), getattr(job, "repeat_index", -1))
 
 
 # -- supervised serial execution (bottom rung) -----------------------------
 
-def supervised_serial(tasks: Sequence, call: Callable,
+def supervised_serial(tasks: Sequence[Any], call: Callable[[Any], Any],
                       policy: RetryPolicy | None = None, *,
-                      key: Callable = _default_key,
-                      on_event: Callable | None = None,
+                      key: Callable[[Any], tuple[int, int]] = _default_key,
+                      on_event: Callable[[object], None] | None = None,
                       sleep: Callable[[float], None] = time.sleep
-                      ) -> Iterator[tuple]:
+                      ) -> Iterator[tuple[Any, tuple[str, Any]]]:
     """Run ``call(task)`` per task with the retry/quarantine contract.
 
     Yields ``(task, ("ok", value))`` or ``(task, ("quarantined",
     error_repr))`` per task, in task order.  With ``policy=None`` the
     first failure raises (legacy semantics).
     """
-    def emit(record):
+    def emit(record: object) -> None:
         if on_event is not None:
             on_event(record)
 
@@ -298,11 +299,12 @@ class PoolSupervisor:
     ladder hands exactly those to the next rung.
     """
 
-    def __init__(self, pool_factory: Callable, func: Callable,
-                 tasks: Sequence, policy: RetryPolicy | None = None, *,
-                 key: Callable = _default_key,
-                 on_event: Callable | None = None,
-                 window: int = 8):
+    def __init__(self, pool_factory: Callable[[], Any],
+                 func: Callable[[Any], Any],
+                 tasks: Sequence[Any], policy: RetryPolicy | None = None, *,
+                 key: Callable[[Any], tuple[int, int]] = _default_key,
+                 on_event: Callable[[object], None] | None = None,
+                 window: int = 8) -> None:
         self._pool_factory = pool_factory
         self._func = func
         self._tasks = list(tasks)
@@ -312,23 +314,23 @@ class PoolSupervisor:
         self._window = max(1, window)
         self._unfinished: set[int] = set(range(len(self._tasks)))
 
-    def unfinished(self) -> list:
+    def unfinished(self) -> list[Any]:
         """Tasks with no outcome yet (for hand-off to the next rung)."""
         return [self._tasks[index] for index in sorted(self._unfinished)]
 
-    def _emit(self, record) -> None:
+    def _emit(self, record: object) -> None:
         if self._on_event is not None:
             self._on_event(record)
 
     @staticmethod
-    def _pool_pids(pool) -> set:
+    def _pool_pids(pool: Any) -> set[int | None]:
         processes = getattr(pool, "_pool", None)
         if not processes:
             return set()
         return {process.pid for process in processes}
 
     @staticmethod
-    def _workers_churned(pool, pids: set) -> bool:
+    def _workers_churned(pool: Any, pids: set[int | None]) -> bool:
         """Whether the pool replaced (or holds dead) worker processes —
         the observable trace of a killed worker, whose in-flight task is
         gone for good (the pool respawns processes, not tasks)."""
@@ -340,14 +342,18 @@ class PoolSupervisor:
             return True
         return any(not process.is_alive() for process in processes)
 
-    def run(self) -> Iterator[tuple]:
+    def run(self) -> Iterator[tuple[Any, tuple[str, Any]]]:
         import queue as queue_mod
 
         policy = self.policy
-        results: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
-        todo: deque = deque((index, 1) for index in range(len(self._tasks)))
-        retries: list = []       # heap of (due, tiebreak, task_index, attempt)
-        pending: dict = {}       # dispatch token -> (task_index, attempt, deadline)
+        results: queue_mod.SimpleQueue[tuple[int, bool, Any]] = \
+            queue_mod.SimpleQueue()
+        todo: deque[tuple[int, int]] = \
+            deque((index, 1) for index in range(len(self._tasks)))
+        retries: list[tuple[float, int, int, int]] = \
+            []                   # heap of (due, tiebreak, task_index, attempt)
+        pending: dict[int, tuple[int, int, float | None]] = \
+            {}                   # dispatch token -> (task_index, attempt, deadline)
         tokens = itertools.count()
         tiebreak = itertools.count()
         rebuilds = 0
@@ -423,11 +429,13 @@ class PoolSupervisor:
                     pool.terminate()
                 pool.join()
 
-    def _wait_timeout(self, pending: dict, retries: list,
+    def _wait_timeout(self, pending: dict[int, tuple[int, int, float | None]],
+                      retries: list[tuple[float, int, int, int]],
                       last_progress: float) -> float | None:
         """How long to block on the result queue before a health check.
         ``None`` (block forever) only under legacy ``policy=None``."""
-        if self.policy is None:
+        policy = self.policy
+        if policy is None:
             return None
         now = time.monotonic()
         wait = _POLL_INTERVAL
@@ -437,15 +445,17 @@ class PoolSupervisor:
             if deadline is not None:
                 wait = min(wait, deadline - now)
         if pending:
-            wait = min(wait, last_progress + self.policy.stall_timeout - now)
+            wait = min(wait, last_progress + policy.stall_timeout - now)
         return max(0.0, wait)
 
-    def _attempt_failed(self, index: int, attempt: int, error,
-                        retries: list, tiebreak, *, cause: str
-                        ) -> tuple | None:
+    def _attempt_failed(self, index: int, attempt: int, error: object,
+                        retries: list[tuple[float, int, int, int]],
+                        tiebreak: Iterator[int], *, cause: str
+                        ) -> tuple[str, Any] | None:
         """Schedule a retry (returns ``None``) or quarantine (returns
         the terminal outcome) after one failed attempt."""
         policy = self.policy
+        assert policy is not None  # callers gate on a configured policy
         point, repeat = self._key(self._tasks[index])
         if attempt >= policy.max_attempts:
             self._emit(JobQuarantined(point=point, repeat=repeat,
@@ -458,16 +468,23 @@ class PoolSupervisor:
                                  index, attempt + 1))
         return None
 
-    def _health_check(self, pool, pids: set, pending: dict, todo: deque,
-                      retries: list, rebuilds: int, last_progress: float):
+    def _health_check(self, pool: Any, pids: set[int | None],
+                      pending: dict[int, tuple[int, int, float | None]],
+                      todo: deque[tuple[int, int]],
+                      retries: list[tuple[float, int, int, int]],
+                      rebuilds: int, last_progress: float
+                      ) -> tuple[Any, set[int | None], int, float,
+                                 list[tuple[int, tuple[str, Any]]]]:
         """Timeout / worker-loss / stall handling on a quiet poll.
 
         Returns the (possibly rebuilt) pool state plus a list of
         ``(task_index, terminal_outcome)`` pairs for jobs quarantined by
         an expired wall-clock budget — :meth:`run` yields those.
         """
+        policy = self.policy
+        assert policy is not None  # run() only health-checks under a policy
         now = time.monotonic()
-        terminal: list[tuple] = []
+        terminal: list[tuple[int, tuple[str, Any]]] = []
         expired = [token for token, (_, _, deadline) in pending.items()
                    if deadline is not None and deadline <= now]
         if expired:
@@ -476,7 +493,7 @@ class PoolSupervisor:
             tiebreak = itertools.count(len(retries))
             for token in expired:
                 index, attempt, _ = pending.pop(token)
-                budget = self.policy.job_timeout
+                budget = policy.job_timeout
                 outcome = self._attempt_failed(
                     index, attempt,
                     TimeoutError(f"job exceeded its {budget:g}s wall-clock "
@@ -492,32 +509,38 @@ class PoolSupervisor:
             pool, pids, rebuilds = self._worker_loss(
                 pool, pending, todo, rebuilds, "worker process died mid-run")
             return pool, pids, rebuilds, time.monotonic(), terminal
-        if pending and now - last_progress > self.policy.stall_timeout:
+        if pending and now - last_progress > policy.stall_timeout:
             pool, pids, rebuilds = self._worker_loss(
                 pool, pending, todo, rebuilds,
-                f"no results for {self.policy.stall_timeout:g}s with "
+                f"no results for {policy.stall_timeout:g}s with "
                 f"{len(pending)} job(s) in flight")
             return pool, pids, rebuilds, time.monotonic(), terminal
         return pool, pids, rebuilds, last_progress, terminal
 
-    def _worker_loss(self, pool, pending: dict, todo: deque, rebuilds: int,
-                     reason: str):
+    def _worker_loss(self, pool: Any,
+                     pending: dict[int, tuple[int, int, float | None]],
+                     todo: deque[tuple[int, int]], rebuilds: int,
+                     reason: str) -> tuple[Any, set[int | None], int]:
         """Unattributed loss: emit, count against the rebuild budget,
         rebuild the pool, and re-dispatch the in-flight tasks with their
         attempt counts unchanged (innocent bystanders pay nothing)."""
+        policy = self.policy
+        assert policy is not None  # only a configured policy rebuilds pools
         self._emit(WorkerLost(reason=reason, in_flight=len(pending)))
         rebuilds += 1
-        if rebuilds > self.policy.max_rebuilds:
+        if rebuilds > policy.max_rebuilds:
             pool.terminate()
             pool.join()
             raise SupervisorGaveUp(
-                f"pool rebuilt {self.policy.max_rebuilds} time(s) and "
+                f"pool rebuilt {policy.max_rebuilds} time(s) and "
                 f"workers kept dying ({reason}); "
                 f"{len(self._unfinished)} job(s) unfinished")
         pool = self._rebuild(pool, pending, todo, reason)
         return pool, self._pool_pids(pool), rebuilds
 
-    def _rebuild(self, pool, pending: dict, todo: deque, reason: str):
+    def _rebuild(self, pool: Any,
+                 pending: dict[int, tuple[int, int, float | None]],
+                 todo: deque[tuple[int, int]], reason: str) -> Any:
         """Terminate + recreate the pool, requeueing every in-flight
         task at its current attempt count."""
         pool.terminate()

@@ -11,8 +11,6 @@ crossbar per layer.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .._compat import legacy
 from ..analysis.runtime import RuntimeSample, extrapolate, measure, speedup_table
 from ..core import FaultCampaign, FaultInjector, FaultGenerator, FaultSpec, SweepResult

@@ -1,0 +1,48 @@
+"""``repro.lint`` — AST-based invariant checker for this repository.
+
+Mechanically enforces the contracts the reproduction's trustworthiness
+rests on: seeded-RNG determinism, shared-memory lifecycle, typed failure
+routing, frozen protocol records, and event-protocol exhaustiveness.
+See ``docs/static-analysis.md`` for the rule catalog, the
+``# repro: allow[rule-id]`` suppression syntax, and the baseline
+workflow; run it as ``repro lint`` or ``python -m repro.lint``.
+
+The package deliberately has no numpy/engine dependencies — it parses
+the tree with :mod:`ast` and never imports the code under check.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry, load_baseline, write_baseline
+from .findings import Finding, Rule
+from .project import LintUsageError, Module, Project, load_project
+from .rules import (DEFAULT_RULES, EventExhaustiveness, FrozenRecords,
+                    NoGlobalRng, NoSilentExcept, NoUnpicklableSubmit,
+                    NoWallClock, SeedThreading, ShmLifecycle)
+from .runner import LintResult, lint_command, main, run_lint
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_RULES",
+    "EventExhaustiveness",
+    "Finding",
+    "FrozenRecords",
+    "LintResult",
+    "LintUsageError",
+    "Module",
+    "NoGlobalRng",
+    "NoSilentExcept",
+    "NoUnpicklableSubmit",
+    "NoWallClock",
+    "Project",
+    "Rule",
+    "SeedThreading",
+    "ShmLifecycle",
+    "lint_command",
+    "load_baseline",
+    "load_project",
+    "main",
+    "run_lint",
+    "write_baseline",
+]

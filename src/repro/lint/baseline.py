@@ -1,0 +1,113 @@
+"""Grandfathered findings: the committed lint baseline.
+
+The baseline lets the checker gate *new* violations while pre-existing
+ones are burned down incrementally.  Entries waive findings by
+``(rule, path, count)`` — deliberately not by line number, so unrelated
+edits that shift lines never resurrect a waived finding, and deliberately
+bounded by ``count`` so a file cannot silently accumulate more
+violations under an old waiver.
+
+Format (``lint-baseline.json`` at the repository root)::
+
+    {"version": 1,
+     "entries": [{"rule": "no-wall-clock",
+                  "path": "tests/test_example.py",
+                  "count": 2}]}
+
+``repro lint --write-baseline`` regenerates the file from the current
+findings; entries that no longer match anything are reported as stale so
+they get pruned rather than lingering.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+from .project import LintUsageError
+
+__all__ = ["Baseline", "BaselineEntry", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """Waive up to ``count`` findings of ``rule`` in ``path``."""
+
+    rule: str
+    path: str
+    count: int = 1
+
+    def key(self) -> tuple[str, str]:
+        return (self.rule, self.path)
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline plus the bookkeeping of one lint run."""
+
+    entries: list[BaselineEntry]
+
+    def apply(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (active, waived); also return the stale
+        entries that matched nothing.  Unwaivable findings (cross-module
+        contracts) are never absorbed."""
+        budget = Counter({entry.key(): entry.count
+                          for entry in self.entries})
+        active: list[Finding] = []
+        waived: list[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path)
+            if finding.waivable and budget[key] > 0:
+                budget[key] -= 1
+                waived.append(finding)
+            else:
+                active.append(finding)
+        used = Counter((f.rule, f.path) for f in waived)
+        stale = [entry for entry in self.entries
+                 if used[entry.key()] == 0]
+        return active, waived, stale
+
+
+def load_baseline(path: Path | None) -> Baseline:
+    """Parse a baseline file; a missing optional file is empty."""
+    if path is None or not path.exists():
+        return Baseline(entries=[])
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise LintUsageError(f"malformed baseline {path}: {error}") from error
+    if (not isinstance(payload, dict)
+            or payload.get("version") != _VERSION
+            or not isinstance(payload.get("entries"), list)):
+        raise LintUsageError(
+            f"malformed baseline {path}: expected "
+            f'{{"version": {_VERSION}, "entries": [...]}}')
+    entries: list[BaselineEntry] = []
+    for raw in payload["entries"]:
+        if (not isinstance(raw, dict)
+                or not isinstance(raw.get("rule"), str)
+                or not isinstance(raw.get("path"), str)
+                or not isinstance(raw.get("count", 1), int)
+                or raw.get("count", 1) < 1):
+            raise LintUsageError(
+                f"malformed baseline entry in {path}: {raw!r}")
+        entries.append(BaselineEntry(rule=raw["rule"], path=raw["path"],
+                                     count=raw.get("count", 1)))
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> int:
+    """Write a baseline waiving every current waivable finding; returns
+    the number of entries written."""
+    counts = Counter((f.rule, f.path) for f in findings if f.waivable)
+    entries = [{"rule": rule, "path": relpath, "count": count}
+               for (rule, relpath), count in sorted(counts.items())]
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

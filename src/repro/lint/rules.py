@@ -1,0 +1,593 @@
+"""The repo-specific invariant rules.
+
+Each rule encodes one contract the reproduction's trustworthiness rests
+on — determinism (seeded RNG flow), resource lifecycle (shared-memory
+release), failure routing (no silent excepts), and the typed-event
+protocol (frozen records, exhaustive rendering/relaying).  Rules are
+pure AST analyses over a :class:`~repro.lint.project.Project`; none of
+them import or execute the code under check.
+
+The catalog (rule id → contract) is documented for humans in
+``docs/static-analysis.md``; keep the two in sync when adding a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .findings import Finding, Rule
+from .project import Module, Project
+
+__all__ = [
+    "DEFAULT_RULES",
+    "EventExhaustiveness",
+    "FrozenRecords",
+    "NoGlobalRng",
+    "NoSilentExcept",
+    "NoUnpicklableSubmit",
+    "NoWallClock",
+    "SeedThreading",
+    "ShmLifecycle",
+]
+
+#: the two protocol modules whose dataclasses are wire/event records
+EVENTS_MODULE = "src/repro/api/events.py"
+RESILIENCE_MODULE = "src/repro/core/resilience.py"
+CLI_MODULE = "src/repro/cli.py"
+HANDLE_MODULE = "src/repro/api/handle.py"
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _finding(module: Module, node: ast.AST, rule_id: str, message: str, *,
+             waivable: bool = True) -> Iterator[Finding]:
+    """Yield one finding unless an inline suppression covers it."""
+    line = getattr(node, "lineno", 1)
+    if not module.suppressed(line, rule_id):
+        yield Finding(path=module.relpath, line=line, rule=rule_id,
+                      message=message, waivable=waivable)
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = node.args
+    return {a.arg for a in
+            (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+
+
+def _walk_own_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested function or
+    lambda scopes (their parameters establish their own contracts)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, (*_FUNCTION_NODES, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator, if any."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (target.attr if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name) else None)
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass: frozen defaults to False
+    return any(kw.arg == "frozen" and isinstance(kw.value, ast.Constant)
+               and kw.value.value is True for kw in decorator.keywords)
+
+
+class NoGlobalRng:
+    """All randomness must flow through explicitly seeded generators.
+
+    Module-state numpy RNG (``np.random.rand`` and friends, including
+    ``np.random.seed``), the stdlib ``random`` module, and argless
+    ``default_rng()`` all read or mutate hidden global state, which
+    breaks the bit-identical campaign contract the moment execution
+    order changes (pool executors, resumed journals).
+    """
+
+    rule_id = "no-global-rng"
+    summary = ("ban np.random module-state calls, stdlib random, and "
+               "argless default_rng()")
+    #: shared test fixtures may centralize seeding helpers
+    allowed_paths = frozenset({"tests/conftest.py"})
+    #: numpy.random attributes that construct explicit, seedable state
+    _constructors = frozenset({
+        "default_rng", "Generator", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    })
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if module.relpath in self.allowed_paths:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                canonical = module.resolve(node.func)
+                if canonical is None:
+                    continue
+                if canonical.startswith("random."):
+                    yield from _finding(
+                        module, node, self.rule_id,
+                        f"stdlib {canonical}() uses hidden global RNG "
+                        "state; thread a seeded np.random.Generator "
+                        "instead")
+                elif canonical == "numpy.random.default_rng":
+                    if not node.args and not node.keywords:
+                        yield from _finding(
+                            module, node, self.rule_id,
+                            "argless default_rng() is entropy-seeded and "
+                            "unreproducible; pass an explicit seed")
+                elif (canonical.startswith("numpy.random.")
+                      and canonical.rpartition(".")[2]
+                      not in self._constructors):
+                    tail = canonical.removeprefix("numpy.")
+                    yield from _finding(
+                        module, node, self.rule_id,
+                        f"{tail}() uses numpy's global RNG state; use a "
+                        "seeded np.random.Generator method instead")
+
+
+class NoWallClock:
+    """Deterministic paths must not read the wall clock.
+
+    ``time.time``/``datetime.now`` values leak into results and make
+    reruns differ; ``time.monotonic`` is the supervision layer's
+    legitimate tool (timeouts, stall watchdogs) and is allow-listed in
+    ``core/resilience.py`` only.
+    """
+
+    rule_id = "no-wall-clock"
+    summary = ("ban time.time/datetime.now everywhere; time.monotonic "
+               "outside core/resilience.py")
+    _banned = frozenset({
+        "time.time", "time.time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+    _monotonic = frozenset({"time.monotonic", "time.monotonic_ns"})
+    monotonic_paths = frozenset({RESILIENCE_MODULE})
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                canonical = module.resolve(node.func)
+                if canonical in self._banned:
+                    yield from _finding(
+                        module, node, self.rule_id,
+                        f"{canonical}() reads the wall clock in a "
+                        "deterministic path; results must be a pure "
+                        "function of seeds and inputs")
+                elif (canonical in self._monotonic
+                      and module.relpath not in self.monotonic_paths):
+                    yield from _finding(
+                        module, node, self.rule_id,
+                        f"{canonical}() is reserved for the supervision "
+                        "layer (core/resilience.py); deterministic code "
+                        "must not branch on elapsed time")
+
+
+class ShmLifecycle:
+    """Every created shared-memory block needs an owner that releases it.
+
+    A ``SharedMemory(create=True)`` call must either run under a
+    ``try``/``finally`` that can unlink it, immediately register the
+    block with a lifecycle container (``*.append(shm)`` /
+    ``register(shm)``), or live inside :class:`SharedPlaneRegistry`
+    itself — otherwise any exception between create and release leaks a
+    ``psm_*`` block until reboot.
+    """
+
+    rule_id = "shm-lifecycle"
+    summary = ("SharedMemory(create=True) must be try/finally-guarded or "
+               "registered with a lifecycle owner")
+    _register_calls = frozenset({"append", "register", "track", "add"})
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not self._creates_block(module, node):
+                    continue
+                if self._guarded(module, node):
+                    continue
+                yield from _finding(
+                    module, node, self.rule_id,
+                    "SharedMemory(create=True) without a try/finally "
+                    "release or registration with a lifecycle owner "
+                    "(SharedPlaneRegistry); a failure here leaks the "
+                    "block until reboot")
+
+    @staticmethod
+    def _creates_block(module: Module, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        canonical = module.resolve(node.func)
+        if canonical is None or canonical.rpartition(".")[2] != "SharedMemory":
+            return False
+        return any(kw.arg == "create" and isinstance(kw.value, ast.Constant)
+                   and kw.value.value is True for kw in node.keywords)
+
+    def _guarded(self, module: Module, node: ast.AST) -> bool:
+        target: str | None = None
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.Try) and ancestor.finalbody:
+                return True
+            if (isinstance(ancestor, ast.ClassDef)
+                    and ancestor.name == "SharedPlaneRegistry"):
+                return True
+            if isinstance(ancestor, ast.Assign) and target is None:
+                for t in ancestor.targets:
+                    if isinstance(t, ast.Name):
+                        target = t.id
+            if isinstance(ancestor, _FUNCTION_NODES):
+                return (target is not None
+                        and self._registered(ancestor, target))
+        return False
+
+    def _registered(self, function: ast.AST, name: str) -> bool:
+        """Whether the enclosing function hands ``name`` to a lifecycle
+        container (``owner.append(name)`` / ``register(name)``)."""
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            called = (callee.attr if isinstance(callee, ast.Attribute)
+                      else callee.id if isinstance(callee, ast.Name)
+                      else None)
+            if called not in self._register_calls:
+                continue
+            if any(isinstance(arg, ast.Name) and arg.id == name
+                   for arg in node.args):
+                return True
+        return False
+
+
+class NoSilentExcept:
+    """Broad exception handlers must route somewhere observable.
+
+    A bare ``except:`` or ``except Exception:`` whose body is only
+    ``pass`` swallows executor failures that the typed-event protocol
+    (``on_warning``, JobRetried/JobQuarantined) exists to surface.
+    Narrow handlers (``except OSError: pass``) stay legal — they
+    document exactly what is being ignored.
+    """
+
+    rule_id = "no-silent-except"
+    summary = "bare/except-Exception handlers must not silently pass"
+    _broad = frozenset({"Exception", "BaseException"})
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not self._is_broad(node.type):
+                    continue
+                if not self._is_silent(node.body):
+                    continue
+                caught = ("bare except" if node.type is None
+                          else f"except {ast.unparse(node.type)}")
+                yield from _finding(
+                    module, node, self.rule_id,
+                    f"{caught}: pass swallows failures silently; narrow "
+                    "the exception type or route it through "
+                    "on_warning/logging")
+
+    def _is_broad(self, node: ast.expr | None) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(element) for element in node.elts)
+        name = (node.attr if isinstance(node, ast.Attribute)
+                else node.id if isinstance(node, ast.Name) else None)
+        return name in self._broad
+
+    @staticmethod
+    def _is_silent(body: list[ast.stmt]) -> bool:
+        return all(isinstance(stmt, ast.Pass)
+                   or (isinstance(stmt, ast.Expr)
+                       and isinstance(stmt.value, ast.Constant))
+                   for stmt in body)
+
+
+class FrozenRecords:
+    """Event/record dataclasses must be immutable.
+
+    ``api/events.py`` and ``core/resilience.py`` define the typed
+    records consumers dispatch on; a mutable record could change under a
+    subscriber mid-stream.  Every dataclass in those two modules must be
+    declared ``frozen=True``.
+    """
+
+    rule_id = "frozen-records"
+    summary = ("dataclasses in api/events.py and core/resilience.py "
+               "must be frozen=True")
+    record_modules = frozenset({EVENTS_MODULE, RESILIENCE_MODULE})
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if module.relpath not in self.record_modules:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                decorator = _dataclass_decorator(node)
+                if decorator is None or _is_frozen(decorator):
+                    continue
+                yield from _finding(
+                    module, node, self.rule_id,
+                    f"dataclass {node.name} is a protocol record and "
+                    "must be @dataclass(frozen=True); consumers rely on "
+                    "records never mutating mid-stream")
+
+
+class EventExhaustiveness:
+    """Every typed event must reach every consumer.
+
+    Cross-module contract: each :class:`RunEvent` subclass defined in
+    ``api/events.py`` needs an ``isinstance`` dispatch branch in the CLI
+    renderer (``cli.py``), and each record the engine supervision layer
+    emits (``core/resilience.py``) needs a mirror entry in
+    ``api/handle.py``'s ``_ENGINE_EVENTS`` relay table plus a
+    same-named api event.  Without this, adding an event silently drops
+    it from one consumer.  Findings are never baseline-waivable.
+    """
+
+    rule_id = "event-exhaustiveness"
+    summary = ("every typed event must be rendered by cli.py and every "
+               "engine record relayed by api/handle.py")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        events = project.get(EVENTS_MODULE)
+        if events is None:
+            return  # partial lint run without the protocol modules
+        api_events = self._api_events(events)
+        cli = project.get(CLI_MODULE)
+        if cli is not None:
+            dispatched = self._isinstance_targets(cli)
+            for name, node in api_events.items():
+                if name not in dispatched:
+                    yield from _finding(
+                        events, node, self.rule_id,
+                        f"event {name} has no isinstance dispatch branch "
+                        "in cli.py's renderer; a run emitting it would "
+                        "be silently dropped from the CLI",
+                        waivable=False)
+        resilience = project.get(RESILIENCE_MODULE)
+        handle = project.get(HANDLE_MODULE)
+        if resilience is None:
+            return
+        emitted = self._emitted_records(resilience)
+        relayed = (self._engine_events_keys(handle)
+                   if handle is not None else None)
+        for name, node in emitted.items():
+            if name not in api_events:
+                yield from _finding(
+                    resilience, node, self.rule_id,
+                    f"engine record {name} has no same-named mirror "
+                    "event in api/events.py; api consumers can never "
+                    "see it", waivable=False)
+            if relayed is not None and name not in relayed:
+                yield from _finding(
+                    resilience, node, self.rule_id,
+                    f"engine record {name} is missing from "
+                    "api/handle.py's _ENGINE_EVENTS relay table; it "
+                    "would never be mirrored to api subscribers",
+                    waivable=False)
+
+    @staticmethod
+    def _api_events(module: Module) -> dict[str, ast.ClassDef]:
+        """RunEvent subclasses (transitively, by local base name)."""
+        event_names = {"RunEvent"}
+        found: dict[str, ast.ClassDef] = {}
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {base.id for base in node.bases
+                     if isinstance(base, ast.Name)}
+            if bases & event_names:
+                event_names.add(node.name)
+                found[node.name] = node
+        return found
+
+    @staticmethod
+    def _isinstance_targets(module: Module) -> set[str]:
+        """Class names checked via ``isinstance(x, T)`` anywhere in the
+        module (tuple second arguments included)."""
+        targets: set[str] = set()
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2):
+                continue
+            spec = node.args[1]
+            elements = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+            for element in elements:
+                if isinstance(element, ast.Name):
+                    targets.add(element.id)
+                elif isinstance(element, ast.Attribute):
+                    targets.add(element.attr)
+        return targets
+
+    @staticmethod
+    def _emitted_records(module: Module) -> dict[str, ast.ClassDef]:
+        """Dataclasses the supervision layer constructs inside an
+        ``emit``/``_emit`` call — the records executors forward."""
+        classes = {node.name: node for node in module.tree.body
+                   if isinstance(node, ast.ClassDef)
+                   and _dataclass_decorator(node) is not None}
+        emitted: dict[str, ast.ClassDef] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            called = (callee.attr if isinstance(callee, ast.Attribute)
+                      else callee.id if isinstance(callee, ast.Name)
+                      else None)
+            if called is None or not called.lstrip("_").startswith("emit"):
+                continue
+            for arg in node.args:
+                if (isinstance(arg, ast.Call)
+                        and isinstance(arg.func, ast.Name)
+                        and arg.func.id in classes):
+                    emitted[arg.func.id] = classes[arg.func.id]
+        return emitted
+
+    @staticmethod
+    def _engine_events_keys(module: Module) -> set[str]:
+        """Key class names of the ``_ENGINE_EVENTS`` dict literal."""
+        keys: set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == "_ENGINE_EVENTS"
+                       for t in node.targets):
+                continue
+            if isinstance(node.value, ast.Dict):
+                for key in node.value.keys:
+                    if isinstance(key, ast.Attribute):
+                        keys.add(key.attr)
+                    elif isinstance(key, ast.Name):
+                        keys.add(key.id)
+        return keys
+
+
+class NoUnpicklableSubmit:
+    """Work shipped to executor pools must be picklable.
+
+    A lambda or nested function handed to ``apply_async``/``submit``/
+    ``imap*`` dies with ``PicklingError`` only once a real pool runs it
+    — the serial executor masks the bug.  Callbacks (keyword arguments)
+    run parent-side and are exempt.
+    """
+
+    rule_id = "no-unpicklable-submit"
+    summary = ("no lambdas/nested functions as the task callable of "
+               "executor submit/apply paths")
+    _submit_names = frozenset({
+        "apply_async", "apply", "submit", "imap", "imap_unordered",
+        "map_async", "starmap", "starmap_async",
+    })
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            nested = self._nested_defs(module)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in self._submit_names):
+                    continue
+                if not node.args:
+                    continue
+                task = node.args[0]
+                if isinstance(task, ast.Lambda):
+                    yield from _finding(
+                        module, task, self.rule_id,
+                        f"lambda passed to .{node.func.attr}() cannot be "
+                        "pickled into a worker process; use a "
+                        "module-level function")
+                elif isinstance(task, ast.Name) and task.id in nested:
+                    yield from _finding(
+                        module, task, self.rule_id,
+                        f"nested function {task.id}() passed to "
+                        f".{node.func.attr}() cannot be pickled into a "
+                        "worker process; move it to module level")
+
+    @staticmethod
+    def _nested_defs(module: Module) -> set[str]:
+        """Names defined by ``def`` inside another function, excluding
+        names that also exist at module level (those resolve fine)."""
+        top_level = {node.name for node in module.tree.body
+                     if isinstance(node, _FUNCTION_NODES)}
+        nested: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, _FUNCTION_NODES):
+                for child in ast.walk(node):
+                    if child is not node and isinstance(child,
+                                                        _FUNCTION_NODES):
+                        nested.add(child.name)
+        return nested - top_level
+
+
+class SeedThreading:
+    """Functions that accept randomness must actually use it.
+
+    A public function taking an ``rng`` parameter that constructs its
+    own generator ignores the caller's seeded stream; one taking
+    ``seed`` must thread that seed into any generator it builds.
+    Applies to ``src/`` only — tests legitimately build multiple
+    generators to compare seeds.
+    """
+
+    rule_id = "seed-threading"
+    summary = ("public functions taking rng/seed must not construct an "
+               "independent generator")
+    _constructors = frozenset({"numpy.random.default_rng",
+                               "numpy.random.Generator"})
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if not module.relpath.startswith("src/"):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, _FUNCTION_NODES):
+                    continue
+                if node.name.startswith("_"):
+                    continue
+                params = _param_names(node)
+                if "rng" in params:
+                    yield from self._check_rng_function(module, node)
+                elif "seed" in params:
+                    yield from self._check_seed_function(module, node)
+
+    def _generator_calls(self, module: Module,
+                         function: ast.AST) -> Iterator[ast.Call]:
+        for node in _walk_own_scope(function):
+            if (isinstance(node, ast.Call)
+                    and module.resolve(node.func) in self._constructors):
+                yield node
+
+    def _check_rng_function(self, module: Module,
+                            function: ast.FunctionDef
+                            | ast.AsyncFunctionDef) -> Iterator[Finding]:
+        for call in self._generator_calls(module, function):
+            yield from _finding(
+                module, call, self.rule_id,
+                f"{function.name}() takes an rng parameter but "
+                "constructs its own generator, ignoring the caller's "
+                "seeded stream")
+
+    def _check_seed_function(self, module: Module,
+                             function: ast.FunctionDef
+                             | ast.AsyncFunctionDef) -> Iterator[Finding]:
+        for call in self._generator_calls(module, function):
+            mentions_seed = any(
+                isinstance(leaf, ast.Name) and leaf.id == "seed"
+                for arg in (*call.args, *(kw.value for kw in call.keywords))
+                for leaf in ast.walk(arg))
+            if not mentions_seed:
+                yield from _finding(
+                    module, call, self.rule_id,
+                    f"{function.name}() takes a seed parameter but "
+                    "constructs a generator without threading it "
+                    "through")
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    NoGlobalRng(), NoWallClock(), ShmLifecycle(), NoSilentExcept(),
+    FrozenRecords(), EventExhaustiveness(), NoUnpicklableSubmit(),
+    SeedThreading(),
+)

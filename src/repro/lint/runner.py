@@ -1,0 +1,177 @@
+"""Run the rules, apply suppressions and the baseline, report.
+
+:func:`run_lint` is the library entry point (used by the tests and the
+docs snippet); :func:`lint_command` implements the shared CLI semantics
+behind both ``repro lint`` and ``python -m repro.lint`` with the
+repository's uniform exit codes:
+
+* ``0`` — no active findings;
+* ``1`` — at least one active finding (the build should fail);
+* ``2`` — usage/validation error (unknown path, unparsable file,
+  malformed baseline), raised as :class:`LintUsageError` so
+  ``repro.cli.main`` maps it like every other ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TextIO
+
+from .baseline import Baseline, BaselineEntry, load_baseline, write_baseline
+from .findings import Finding, Rule
+from .project import LintUsageError, load_project
+from .rules import DEFAULT_RULES
+
+__all__ = ["LintResult", "lint_command", "run_lint"]
+
+#: what a bare ``repro lint`` scans, relative to the root
+DEFAULT_PATHS = ("src", "tests")
+#: the committed grandfather file, relative to the root
+BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass determined."""
+
+    #: findings that fail the build (not suppressed, not waived)
+    findings: list[Finding] = field(default_factory=list)
+    #: findings absorbed by baseline entries
+    waived: list[Finding] = field(default_factory=list)
+    #: baseline entries that matched nothing (should be pruned)
+    stale_entries: list[BaselineEntry] = field(default_factory=list)
+    #: number of files parsed
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run_lint(paths: Sequence[Path | str], root: Path | str | None = None,
+             rules: Sequence[Rule] = DEFAULT_RULES,
+             baseline: Baseline | None = None) -> LintResult:
+    """Lint ``paths`` (files or directories) against ``rules``.
+
+    ``root`` anchors the relative paths that rules, suppressions, and
+    baseline entries are keyed on; it defaults to the current working
+    directory.  Inline ``# repro: allow[rule-id]`` suppressions are
+    honored inside the rules themselves; the ``baseline`` (if given)
+    then absorbs grandfathered findings.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    project = load_project([Path(p) for p in paths], root)
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(project))
+    findings.sort()
+    result = LintResult(files=len(project.modules))
+    if baseline is None:
+        baseline = Baseline(entries=[])
+    result.findings, result.waived, result.stale_entries = (
+        baseline.apply(findings))
+    return result
+
+
+def lint_command(paths: Sequence[str] = (), *,
+                 root: Path | str | None = None,
+                 baseline: str | None = None,
+                 update_baseline: bool = False,
+                 list_rules: bool = False,
+                 json_output: bool = False,
+                 rules: Sequence[Rule] = DEFAULT_RULES,
+                 stdout: TextIO | None = None) -> int:
+    """The ``repro lint`` subcommand body; returns the exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    if list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id:24s} {rule.summary}", file=out)
+        return 0
+    root = Path(root) if root is not None else Path.cwd()
+    scan = ([Path(p) for p in paths] if paths
+            else [root / p for p in DEFAULT_PATHS if (root / p).exists()])
+    if not scan:
+        raise LintUsageError(
+            f"nothing to lint: no paths given and {root} contains none of "
+            f"{'/'.join(DEFAULT_PATHS)}")
+    baseline_path = (Path(baseline) if baseline is not None
+                     else root / BASELINE_NAME)
+    if update_baseline:
+        result = run_lint(scan, root=root, rules=rules)
+        count = write_baseline(baseline_path, result.findings)
+        print(f"wrote {baseline_path} with {count} grandfathered "
+              f"entr{'y' if count == 1 else 'ies'}", file=out)
+        unwaivable = [f for f in result.findings if not f.waivable]
+        for finding in unwaivable:
+            print(finding.render(), file=out)
+        return 1 if unwaivable else 0
+    result = run_lint(scan, root=root, rules=rules,
+                      baseline=load_baseline(baseline_path))
+    if json_output:
+        payload = {
+            "files": result.files,
+            "findings": [f.to_dict() for f in result.findings],
+            "waived": len(result.waived),
+            "stale_baseline_entries": [
+                {"rule": e.rule, "path": e.path, "count": e.count}
+                for e in result.stale_entries],
+        }
+        print(json.dumps(payload, indent=2), file=out)
+        return 0 if result.ok else 1
+    for finding in result.findings:
+        print(finding.render(), file=out)
+    for entry in result.stale_entries:
+        print(f"note: stale baseline entry matches nothing and should be "
+              f"pruned: {entry.rule} in {entry.path} (x{entry.count})",
+              file=out)
+    summary = (f"checked {result.files} files: "
+               + ("OK" if result.ok
+                  else f"{len(result.findings)} finding(s)"))
+    if result.waived:
+        summary += f" ({len(result.waived)} waived by baseline)"
+    print(summary, file=out)
+    return 0 if result.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.lint`` entry point (argparse + exit codes)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checker for the repro codebase")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src/ and tests/ under --root)")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="repository root that relative paths, "
+                             "baseline entries, and per-module rules are "
+                             "keyed on (default: cwd)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: <root>/"
+                             f"{BASELINE_NAME} when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline file waiving every "
+                             "current finding, then exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    args = parser.parse_args(argv)
+    try:
+        return lint_command(args.paths, root=args.root,
+                            baseline=args.baseline,
+                            update_baseline=args.write_baseline,
+                            list_rules=args.list_rules,
+                            json_output=args.json)
+    except LintUsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,10 @@
 """Tests for QuantConv2D / QuantDense: arithmetic, hooks, geometry."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.binary import (MagnitudeAwareSign, QuantConv2D, QuantDense,
-                          SteSign, bitops)
+                          bitops)
 
 
 def build(layer, shape, seed=0):

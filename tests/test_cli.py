@@ -8,7 +8,6 @@ the registry-backed ``run`` / ``list`` / ``describe``.
 
 import re
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main

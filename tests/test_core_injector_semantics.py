@@ -2,7 +2,6 @@
 the cross-layer notion of time."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.binary import QuantDense

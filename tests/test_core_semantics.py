@@ -1,7 +1,6 @@
 """Direct unit tests of the semantics functions against brute force."""
 
 import numpy as np
-import pytest
 
 from repro.binary import QuantDense
 from repro.core import LayerMapping

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import Dataset, load_synth_imagenet, load_synth_mnist
+from repro.data import load_synth_imagenet, load_synth_mnist
 from repro.data.synth_imagenet import CLASS_NAMES, render_class
 from repro.data.synth_mnist import DIGIT_STROKES, render_digit
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data import Dataset
 from repro.experiments import fig5, get_imagenet, trained_zoo_model
 from repro.experiments.tables import table2_model_stats
 from repro.models.zoo import MODEL_PAPER_STATS

@@ -14,7 +14,7 @@ import pytest
 
 from repro import nn
 from repro.binary import QuantConv2D, QuantDense
-from repro.core import (FaultInjector, FaultSpec, Semantics, StuckPolarity)
+from repro.core import FaultInjector, FaultSpec, Semantics
 from repro.core.generator import FaultGenerator
 from repro.core.masks import LayerMasks
 from repro.lim import CrossbarConfig, XFaultSimulator, ideal_device_params

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.lim import CELL_OUT, Crossbar, CrossbarConfig
+from repro.lim import Crossbar, CrossbarConfig
 from repro.lim.memristor import DeviceParams
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.binary import QuantDense
 from repro.lim import (EnduranceModel, EnergyParams, estimate_layer_cost,
                        estimate_model_cost, lifetime_fault_rates)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.lim import (CELL_A, CELL_B, CELL_OUT, CELL_W, CellArray,
+from repro.lim import (CELL_A, CELL_OUT, CELL_W, CellArray,
                        Health, ImplyXnorGate, MagicXnorGate, get_gate_family)
 from repro.lim.memristor import DeviceParams
 

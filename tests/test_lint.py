@@ -1,0 +1,620 @@
+"""Tests for the `repro lint` AST invariant checker.
+
+Each rule gets one known-good and one known-bad snippet, checked in
+isolation against a synthetic tree; the cross-module
+event-exhaustiveness rule is additionally exercised against a copy of
+the *real* protocol modules (the acceptance scenario: a new event
+dataclass with no renderer branch must fail the gate).  A self-check
+pins the shipped tree to zero findings with an empty baseline.
+"""
+
+import io
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lint import (Baseline, BaselineEntry, EventExhaustiveness,
+                        FrozenRecords, LintUsageError, NoGlobalRng,
+                        NoSilentExcept, NoUnpicklableSubmit, NoWallClock,
+                        SeedThreading, ShmLifecycle, load_baseline,
+                        run_lint)
+from repro.lint.runner import lint_command
+from repro.lint.runner import main as lint_main
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: the four modules the event-exhaustiveness contract spans
+PROTOCOL_FILES = (
+    "src/repro/api/events.py",
+    "src/repro/cli.py",
+    "src/repro/api/handle.py",
+    "src/repro/core/resilience.py",
+)
+
+
+def lint_tree(tmp_path, files, rules):
+    """Write ``files`` (relpath -> source) under ``tmp_path`` and lint."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint([tmp_path], root=tmp_path, rules=rules).findings
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# -- no-global-rng ---------------------------------------------------------
+
+def test_global_rng_bad_stdlib_and_module_state(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import random
+            import numpy as np
+
+            def roll():
+                return random.random() + np.random.rand()
+            """,
+    }, rules=[NoGlobalRng()])
+    assert rule_ids(findings) == ["no-global-rng", "no-global-rng"]
+
+
+def test_global_rng_bad_argless_default_rng(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """,
+    }, rules=[NoGlobalRng()])
+    assert rule_ids(findings) == ["no-global-rng"]
+
+
+def test_global_rng_good_seeded_constructors(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import numpy as np
+            from numpy.random import default_rng
+
+            def sample(seed):
+                rng = default_rng(seed)
+                ss = np.random.SeedSequence(seed)
+                return rng.normal(), ss
+            """,
+    }, rules=[NoGlobalRng()])
+    assert findings == []
+
+
+def test_global_rng_local_variable_never_false_positives(tmp_path):
+    # a local named `random` has no import alias, so it cannot resolve
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            def pick(random):
+                return random.random()
+            """,
+    }, rules=[NoGlobalRng()])
+    assert findings == []
+
+
+def test_global_rng_conftest_allow_listed(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "tests/conftest.py": """\
+            import random
+
+            def entropy():
+                return random.random()
+            """,
+    }, rules=[NoGlobalRng()])
+    assert findings == []
+
+
+# -- no-wall-clock ---------------------------------------------------------
+
+def test_wall_clock_bad_time_and_datetime(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now()
+            """,
+    }, rules=[NoWallClock()])
+    assert rule_ids(findings) == ["no-wall-clock", "no-wall-clock"]
+
+
+def test_wall_clock_monotonic_only_in_resilience(tmp_path):
+    files = {
+        "src/repro/core/resilience.py": """\
+            import time
+
+            def deadline(budget):
+                return time.monotonic() + budget
+            """,
+        "src/repro/core/engine.py": """\
+            import time
+
+            def deadline(budget):
+                return time.monotonic() + budget
+            """,
+    }
+    findings = lint_tree(tmp_path, files, rules=[NoWallClock()])
+    assert [(f.path, f.rule) for f in findings] == [
+        ("src/repro/core/engine.py", "no-wall-clock")]
+
+
+# -- shm-lifecycle ---------------------------------------------------------
+
+def test_shm_bad_unowned_block(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            from multiprocessing import shared_memory
+
+            def make():
+                shm = shared_memory.SharedMemory(create=True, size=64)
+                return shm.name
+            """,
+    }, rules=[ShmLifecycle()])
+    assert rule_ids(findings) == ["shm-lifecycle"]
+
+
+def test_shm_good_try_finally_and_registration(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            from multiprocessing import shared_memory
+
+            def guarded(size):
+                shm = None
+                try:
+                    shm = shared_memory.SharedMemory(create=True, size=size)
+                    return bytes(shm.buf)
+                finally:
+                    if shm is not None:
+                        shm.close()
+                        shm.unlink()
+
+            def registered(owner, size):
+                shm = shared_memory.SharedMemory(create=True, size=size)
+                owner.append(shm)
+                return shm
+            """,
+    }, rules=[ShmLifecycle()])
+    assert findings == []
+
+
+def test_shm_good_inside_registry_class(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            from multiprocessing import shared_memory
+
+            class SharedPlaneRegistry:
+                def publish(self, size):
+                    shm = shared_memory.SharedMemory(create=True, size=size)
+                    self._owned.append(shm)
+                    return shm
+            """,
+    }, rules=[ShmLifecycle()])
+    assert findings == []
+
+
+# -- no-silent-except ------------------------------------------------------
+
+def test_silent_except_bad(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            def swallow(work):
+                try:
+                    work()
+                except Exception:
+                    pass
+                try:
+                    work()
+                except:
+                    pass
+            """,
+    }, rules=[NoSilentExcept()])
+    assert rule_ids(findings) == ["no-silent-except", "no-silent-except"]
+
+
+def test_silent_except_good_narrow_or_handled(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            def tolerate(work, on_warning):
+                try:
+                    work()
+                except OSError:
+                    pass
+                try:
+                    work()
+                except Exception as error:
+                    on_warning(str(error))
+            """,
+    }, rules=[NoSilentExcept()])
+    assert findings == []
+
+
+# -- frozen-records --------------------------------------------------------
+
+def test_frozen_records_bad_mutable_event(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/api/events.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class CellDone:
+                index: int = 0
+            """,
+    }, rules=[FrozenRecords()])
+    assert rule_ids(findings) == ["frozen-records"]
+    assert "CellDone" in findings[0].message
+
+
+def test_frozen_records_good_frozen_and_out_of_scope(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/api/events.py": """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class CellDone:
+                index: int = 0
+            """,
+        # mutable dataclasses outside the record modules are fine
+        "src/repro/core/engine.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Accumulator:
+                total: float = 0.0
+            """,
+    }, rules=[FrozenRecords()])
+    assert findings == []
+
+
+# -- event-exhaustiveness --------------------------------------------------
+
+def copy_protocol_tree(tmp_path):
+    for rel in PROTOCOL_FILES:
+        dest = tmp_path / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text((REPO_ROOT / rel).read_text(encoding="utf-8"))
+
+
+def test_event_exhaustiveness_real_tree_is_clean(tmp_path):
+    copy_protocol_tree(tmp_path)
+    findings = run_lint([tmp_path], root=tmp_path,
+                        rules=[EventExhaustiveness()]).findings
+    assert findings == []
+
+
+def test_new_event_without_renderer_branch_fails(tmp_path):
+    """The acceptance scenario: add an event dataclass to api/events.py
+    with no cli.py isinstance branch — the gate must fail."""
+    copy_protocol_tree(tmp_path)
+    events = tmp_path / "src/repro/api/events.py"
+    events.write_text(events.read_text(encoding="utf-8") + textwrap.dedent(
+        '''
+
+        @dataclass(frozen=True)
+        class PlaneEvicted(RunEvent):
+            """A shared activation plane was dropped from the cache."""
+
+            plane: str = ""
+        '''))
+    findings = run_lint([tmp_path], root=tmp_path,
+                        rules=[EventExhaustiveness()]).findings
+    assert rule_ids(findings) == ["event-exhaustiveness"]
+    assert "PlaneEvicted" in findings[0].message
+    assert findings[0].waivable is False
+    # ...and the baseline can never absorb it
+    baseline = Baseline(entries=[BaselineEntry(
+        rule="event-exhaustiveness", path="src/repro/api/events.py",
+        count=5)])
+    active, waived, _ = baseline.apply(findings)
+    assert len(active) == 1 and waived == []
+
+
+def test_engine_record_without_mirror_or_relay_fails(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/api/events.py": """\
+            from dataclasses import dataclass
+
+            class RunEvent:
+                pass
+
+            @dataclass(frozen=True)
+            class JobRetried(RunEvent):
+                job: int = 0
+            """,
+        "src/repro/cli.py": """\
+            from repro.api.events import JobRetried
+
+            def render(event, out):
+                if isinstance(event, JobRetried):
+                    print(event.job, file=out)
+            """,
+        "src/repro/api/handle.py": """\
+            from repro.core import resilience
+
+            _ENGINE_EVENTS = {resilience.JobRetried: "JobRetried"}
+            """,
+        "src/repro/core/resilience.py": """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class JobRetried:
+                job: int = 0
+
+            @dataclass(frozen=True)
+            class WorkerLost:
+                pid: int = 0
+
+            def run(emit):
+                emit(JobRetried(job=1))
+                emit(WorkerLost(pid=2))
+            """,
+    }, rules=[EventExhaustiveness()])
+    # WorkerLost is emitted but has no mirror api event and no relay entry
+    assert rule_ids(findings) == ["event-exhaustiveness"] * 2
+    assert all("WorkerLost" in f.message for f in findings)
+
+
+# -- no-unpicklable-submit -------------------------------------------------
+
+def test_unpicklable_submit_bad_lambda_and_nested(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            def run(pool, xs):
+                def task(x):
+                    return x + 1
+                pool.apply_async(lambda: 1)
+                return pool.imap(task, xs)
+            """,
+    }, rules=[NoUnpicklableSubmit()])
+    assert rule_ids(findings) == ["no-unpicklable-submit"] * 2
+
+
+def test_unpicklable_submit_good_module_level_and_callbacks(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            def work(x):
+                return x + 1
+
+            def run(pool, done):
+                # parent-side callbacks may be closures
+                return pool.apply_async(work, (1,),
+                                        callback=lambda r: done(r))
+            """,
+    }, rules=[NoUnpicklableSubmit()])
+    assert findings == []
+
+
+# -- seed-threading --------------------------------------------------------
+
+def test_seed_threading_bad_rng_param_shadowed(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import numpy as np
+
+            def sample(rng, n):
+                fresh = np.random.default_rng(0)
+                return fresh.normal(size=n)
+            """,
+    }, rules=[SeedThreading()])
+    assert rule_ids(findings) == ["seed-threading"]
+
+
+def test_seed_threading_bad_seed_not_threaded(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import numpy as np
+
+            def load(seed):
+                return np.random.default_rng(12).normal()
+            """,
+    }, rules=[SeedThreading()])
+    assert rule_ids(findings) == ["seed-threading"]
+
+
+def test_seed_threading_good_threaded_and_tests_exempt(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import numpy as np
+
+            def load(seed):
+                return np.random.default_rng(seed).normal()
+            """,
+        # tests legitimately build generators to compare seeds
+        "tests/test_a.py": """\
+            import numpy as np
+
+            def check(rng):
+                a = np.random.default_rng(0)
+                b = np.random.default_rng(1)
+                return a, b
+            """,
+    }, rules=[SeedThreading()])
+    assert findings == []
+
+
+# -- suppressions ----------------------------------------------------------
+
+def test_inline_suppression_same_line_and_line_above(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import random
+
+            def a():
+                return random.random()  # repro: allow[no-global-rng]
+
+            def b():
+                # repro: allow[no-global-rng, no-wall-clock]
+                return random.random()
+
+            def c():
+                return random.random()
+            """,
+    }, rules=[NoGlobalRng()])
+    # only the unsuppressed call in c() survives
+    assert [(f.rule, f.line) for f in findings] == [("no-global-rng", 11)]
+
+
+def test_suppression_star_allows_every_rule(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/a.py": """\
+            import random
+
+            value = random.random()  # repro: allow[*]
+            """,
+    }, rules=[NoGlobalRng()])
+    assert findings == []
+
+
+# -- baseline --------------------------------------------------------------
+
+def test_baseline_waives_by_rule_path_count(tmp_path):
+    files = {
+        "src/a.py": """\
+            import random
+
+            x = random.random()
+            y = random.random()
+            """,
+    }
+    baseline = Baseline(entries=[BaselineEntry(
+        rule="no-global-rng", path="src/a.py", count=1)])
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    result = run_lint([tmp_path], root=tmp_path, rules=[NoGlobalRng()],
+                      baseline=baseline)
+    # budget of 1 absorbs one finding; the second stays active
+    assert len(result.waived) == 1
+    assert len(result.findings) == 1
+    assert result.stale_entries == []
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    (tmp_path / "src").mkdir(parents=True)
+    (tmp_path / "src/a.py").write_text("x = 1\n")
+    baseline = Baseline(entries=[BaselineEntry(
+        rule="no-global-rng", path="src/gone.py")])
+    result = run_lint([tmp_path], root=tmp_path, rules=[NoGlobalRng()],
+                      baseline=baseline)
+    assert result.ok
+    assert [e.path for e in result.stale_entries] == ["src/gone.py"]
+
+
+def test_load_baseline_missing_is_empty_and_malformed_raises(tmp_path):
+    assert load_baseline(tmp_path / "absent.json").entries == []
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(LintUsageError):
+        load_baseline(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(LintUsageError):
+        load_baseline(wrong)
+
+
+# -- CLI / exit codes ------------------------------------------------------
+
+def test_shipped_tree_is_clean_with_empty_baseline():
+    """The acceptance self-check: `repro lint` exits 0 on the shipped
+    tree and the committed baseline waives nothing in src/repro."""
+    shipped = json.loads(
+        (REPO_ROOT / "lint-baseline.json").read_text(encoding="utf-8"))
+    assert shipped["entries"] == []
+    out = io.StringIO()
+    assert lint_command([], root=REPO_ROOT, stdout=out) == 0
+    assert "OK" in out.getvalue()
+
+
+def test_cli_exit_one_on_violation(tmp_path):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nx = random.random()\n")
+    assert lint_main([str(tmp_path), "--root", str(tmp_path)]) == 1
+
+
+def test_cli_exit_two_on_missing_path(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope.py")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_exit_two_on_unparsable_file(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    assert lint_main([str(broken), "--root", str(tmp_path)]) == 2
+
+
+def test_cli_exit_two_on_malformed_baseline(tmp_path, capsys):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src/ok.py").write_text("x = 1\n")
+    bad = tmp_path / "base.json"
+    bad.write_text("[]")
+    assert lint_main(["--root", str(tmp_path),
+                      "--baseline", str(bad)]) == 2
+
+
+def test_cli_list_rules_prints_catalog():
+    out = io.StringIO()
+    assert lint_command([], list_rules=True, stdout=out) == 0
+    text = out.getvalue()
+    for rule_id in ("no-global-rng", "no-wall-clock", "shm-lifecycle",
+                    "no-silent-except", "frozen-records",
+                    "event-exhaustiveness", "no-unpicklable-submit",
+                    "seed-threading"):
+        assert rule_id in text
+
+
+def test_cli_json_output(tmp_path):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nx = random.random()\n")
+    out = io.StringIO()
+    code = lint_command([str(tmp_path)], root=tmp_path, json_output=True,
+                        stdout=out)
+    payload = json.loads(out.getvalue())
+    assert code == 1
+    assert payload["findings"][0]["rule"] == "no-global-rng"
+    assert payload["findings"][0]["path"] == "src/bad.py"
+
+
+def test_cli_write_baseline_then_clean(tmp_path):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nx = random.random()\n")
+    out = io.StringIO()
+    assert lint_command([], root=tmp_path, update_baseline=True,
+                        stdout=out) == 0
+    written = json.loads(
+        (tmp_path / "lint-baseline.json").read_text(encoding="utf-8"))
+    assert written["entries"] == [
+        {"rule": "no-global-rng", "path": "src/bad.py", "count": 1}]
+    # with the regenerated baseline the gate passes again
+    assert lint_command([], root=tmp_path, stdout=io.StringIO()) == 0
+
+
+def test_repro_cli_subcommand_wiring(capsys):
+    """`repro lint` must work without touching the experiment registry."""
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint", "--list-rules"]) == 0
+    assert "seed-threading" in capsys.readouterr().out
+    # LintUsageError maps to the repo-wide validation exit code
+    assert cli_main(["lint", "definitely-not-here.py"]) == 2
+
+
+def test_python_dash_m_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--list-rules"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0
+    assert "event-exhaustiveness" in proc.stdout

@@ -1,7 +1,6 @@
 """Gradient and behaviour tests for the numpy NN layers."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 

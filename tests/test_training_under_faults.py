@@ -8,7 +8,6 @@ the mechanism works end-to-end.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.binary import QuantDense
