@@ -37,8 +37,8 @@ from __future__ import annotations
 
 from .errors import ApiError
 from .events import (CellDone, CheckpointDone, ExecutorDegraded,
-                     JobQuarantined, JobRetried, RunEvent, RunFinished,
-                     RunStarted, RunWarning, WorkerLost)
+                     JobQuarantined, JobRetried, JobStateChanged, RunEvent,
+                     RunFinished, RunStarted, RunWarning, WorkerLost)
 from .handle import RunContext, RunHandle
 from .registry import (REGISTRY, Experiment, ExperimentRegistry, Param,
                        experiment)
@@ -49,7 +49,7 @@ __all__ = [
     "ApiError",
     "RunEvent", "RunStarted", "CellDone", "CheckpointDone", "RunWarning",
     "JobRetried", "JobQuarantined", "WorkerLost", "ExecutorDegraded",
-    "RunFinished",
+    "JobStateChanged", "RunFinished",
     "Param", "Experiment", "ExperimentRegistry", "REGISTRY", "experiment",
     "RunRequest", "EXECUTORS", "BACKENDS",
     "RunReport", "SeriesReport",

@@ -24,6 +24,10 @@ way:
     retried with backoff; a poison cell quarantined (its accuracy is
     NaN) after exhausting its attempts; a pool worker lost and the pool
     rebuilt; the executor stepping down its degradation ladder.
+``JobStateChanged``
+    Service runs only (:mod:`repro.service`): the submitted job moved
+    through its lifecycle (queued → running → done/failed/cancelled).
+    Direct :class:`~repro.api.handle.RunHandle` runs never emit it.
 ``RunFinished``
     Emitted once, after the :class:`~repro.api.report.RunReport` is
     assembled; carries the report.
@@ -39,7 +43,7 @@ from typing import Any
 
 __all__ = ["RunEvent", "RunStarted", "CellDone", "CheckpointDone",
            "RunWarning", "JobRetried", "JobQuarantined", "WorkerLost",
-           "ExecutorDegraded", "RunFinished"]
+           "ExecutorDegraded", "JobStateChanged", "RunFinished"]
 
 
 @dataclass(frozen=True)
@@ -129,6 +133,16 @@ class ExecutorDegraded(RunEvent):
     from_mode: str
     to_mode: str
     reason: str
+
+
+@dataclass(frozen=True)
+class JobStateChanged(RunEvent):
+    """A service job moved through its lifecycle (queued → running →
+    done/failed/cancelled); ``error`` is non-empty for failed jobs."""
+
+    job_id: str
+    state: str
+    error: str = ""
 
 
 @dataclass(frozen=True)

@@ -13,10 +13,31 @@ need exact arrays — it is excluded from serialization.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["SeriesReport", "RunReport", "series_from_sweeps"]
+__all__ = ["SeriesReport", "RunReport", "atomic_write_text",
+           "series_from_sweeps"]
+
+
+def atomic_write_text(path: Path | str, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader (or a crash) can only ever observe the old complete file or
+    the new complete file, never a torn prefix — the contract
+    ``repro run --out`` and the service job store rely on.  The
+    temporary sibling is removed if the write fails part-way.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
 
 #: bump when the serialized layout changes incompatibly
 SCHEMA_VERSION = 1
@@ -89,10 +110,13 @@ class RunReport:
 
     def save(self, path) -> Path:
         """Write the report JSON to ``path`` and record it as the
-        ``report`` artifact."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        ``report`` artifact.
+
+        The write is atomic (:func:`atomic_write_text`): a crash while
+        serializing or writing can never leave a torn half-report at
+        ``path`` — an existing file keeps its previous complete content.
+        """
+        path = atomic_write_text(path, self.to_json() + "\n")
         self.artifacts["report"] = str(path)
         return path
 

@@ -9,6 +9,12 @@ Commands
 ``run``           run any registered experiment (``repro.api``)
 ``list``          the experiment registry
 ``describe``      one experiment's parameters + an example invocation
+``serve``         run the campaign service (async job server)
+``submit``        queue an experiment on a running service
+``status``        job records of a running service
+``watch``         stream a job's events until it finishes
+``fetch``         fetch and print a finished job's report
+``cancel``        cancel a queued or running job
 ``report``        mapping report of a model (ops per crossbar, reuse)
 ``vectors``       generate an annotated fault-vector file for a model
 ``inspect``       print the contents of a fault-vector file
@@ -56,8 +62,8 @@ def _event_renderer(show_cells: bool, stream=None):
     (``show_cells`` — journaled or ``--progress`` runs).
     """
     from .api import (CellDone, CheckpointDone, ExecutorDegraded,
-                      JobQuarantined, JobRetried, RunFinished, RunStarted,
-                      RunWarning, WorkerLost)
+                      JobQuarantined, JobRetried, JobStateChanged,
+                      RunFinished, RunStarted, RunWarning, WorkerLost)
     out = stream or sys.stderr
 
     def render(event):
@@ -90,6 +96,11 @@ def _event_renderer(show_cells: bool, stream=None):
         elif isinstance(event, ExecutorDegraded):
             print(f"degrading executor: {event.from_mode} -> "
                   f"{event.to_mode} ({event.reason})", file=out)
+        elif isinstance(event, JobStateChanged):
+            line = f"job {event.job_id}: {event.state}"
+            if event.error:
+                line += f" ({event.error})"
+            print(line, file=out)
     return render
 
 
@@ -229,6 +240,85 @@ def _cmd_describe(args) -> int:
                           f"{_format_param_value(param['kind'], value)}")
     print("invocation:")
     print(f"  python -m repro run {info['name']} " + " ".join(tokens))
+    return 0
+
+
+# -- campaign service: serve / submit / status / watch / fetch / cancel ---
+
+def _service_client(args):
+    from .service import ServiceClient
+    return ServiceClient(host=args.host, port=args.port, client=args.client)
+
+
+def _cmd_serve(args) -> int:
+    from .service.server import serve_from_args
+    return serve_from_args(args)
+
+
+def _cmd_submit(args) -> int:
+    """Submit an experiment to a running service; prints the job id
+    (bare, on stdout) so shells can capture it."""
+    from . import api
+    request = api.RunRequest(
+        experiment=args.experiment,
+        params=_parse_param_tokens(args.param),
+        executor=_default_executor(args), n_jobs=args.jobs or None,
+        backend=args.backend, cache_bytes=_cache_bytes(args),
+        quick=args.quick, retries=args.retries,
+        job_timeout=args.job_timeout, degrade=not args.no_degrade)
+    record = _service_client(args).submit(request, durable=args.durable)
+    print(f"queued {record.request.experiment} as {record.job_id}"
+          + (" (durable)" if record.durable else ""), file=sys.stderr)
+    print(record.job_id)
+    return 0
+
+
+def _job_row(record) -> tuple:
+    return (record.job_id, record.request.experiment,
+            record.state.value, "yes" if record.durable else "no",
+            record.resumes, record.error)
+
+
+def _cmd_status(args) -> int:
+    client = _service_client(args)
+    header = ["job", "experiment", "state", "durable", "resumes", "error"]
+    if args.job:
+        records = [client.job(args.job)]
+    else:
+        records = client.jobs()
+    print(markdown_table(header, [_job_row(record) for record in records]))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    """Stream a job's events until it reaches a terminal state;
+    exit 0 only for ``done``."""
+    from .service.jobs import JobState
+    client = _service_client(args)
+    record = client.watch(args.job,
+                          on_event=_event_renderer(show_cells=True))
+    line = f"job {record.job_id}: {record.state.value}"
+    if record.error:
+        line += f" ({record.error})"
+    print(line)
+    return 0 if record.state is JobState.DONE else 1
+
+
+def _cmd_fetch(args) -> int:
+    """Fetch a finished job's report and print it like ``repro run``."""
+    from .service import wire
+    payload = _service_client(args).result(args.job)
+    report = wire.decode_report(payload)
+    _print_report(report)
+    if args.out:
+        path = report.save(args.out)
+        print(f"[report] {path}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    record = _service_client(args).cancel(args.job)
+    print(f"job {record.job_id}: {record.state.value}")
     return 0
 
 
@@ -508,6 +598,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the RunReport JSON to PATH")
     _add_engine_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    def _add_service_arguments(p, with_job: bool = True) -> None:
+        """Connection options every service client command shares."""
+        if with_job:
+            p.add_argument("job", help="job id (from repro submit)")
+        p.add_argument("--host", default="127.0.0.1",
+                       help="service host (default 127.0.0.1)")
+        p.add_argument("--port", type=int, default=8642,
+                       help="service port (default 8642)")
+        p.add_argument("--client", default="cli", metavar="NAME",
+                       help="client identity for the per-client cache "
+                            "budget (default: cli)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign service (async job server over "
+                      "the registry)")
+    from .service.server import add_serve_arguments
+    add_serve_arguments(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit an experiment to a running service; "
+                       "prints the job id")
+    p_submit.add_argument("experiment",
+                          help="registry name (repro list)")
+    p_submit.add_argument("--param", action="append", default=[],
+                          metavar="K=V",
+                          help="experiment parameter override (repeatable)")
+    p_submit.add_argument("--quick", action="store_true",
+                          help="apply the experiment's quick overrides")
+    p_submit.add_argument("--durable", action="store_true",
+                          help="journal the campaign in the server's "
+                               "store so a killed server resumes it")
+    _add_service_arguments(p_submit, with_job=False)
+    p_submit.add_argument("--jobs", type=int, default=None, metavar="N")
+    p_submit.add_argument("--executor", default=None,
+                          choices=["serial", "multiprocessing",
+                                   "shared_memory"])
+    p_submit.add_argument("--backend", default="float",
+                          choices=["float", "packed"])
+    p_submit.add_argument("--cache-cap", type=int, default=None,
+                          metavar="MiB")
+    p_submit.add_argument("--retries", type=int, default=2, metavar="N")
+    p_submit.add_argument("--job-timeout", type=float, default=None,
+                          metavar="SECONDS")
+    p_submit.add_argument("--no-degrade", action="store_true")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="one job's record, or the whole job table")
+    p_status.add_argument("job", nargs="?", default=None,
+                          help="job id (omit to list every job)")
+    _add_service_arguments(p_status, with_job=False)
+    p_status.set_defaults(func=_cmd_status)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream a job's events until it finishes "
+                      "(reconnects across server restarts)")
+    _add_service_arguments(p_watch)
+    p_watch.set_defaults(func=_cmd_watch)
+
+    p_fetch = sub.add_parser(
+        "fetch", help="fetch and print a finished job's report")
+    _add_service_arguments(p_fetch)
+    p_fetch.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the report JSON to PATH")
+    p_fetch.set_defaults(func=_cmd_fetch)
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running job")
+    _add_service_arguments(p_cancel)
+    p_cancel.set_defaults(func=_cmd_cancel)
 
     p_list = sub.add_parser("list", help="the experiment registry")
     p_list.add_argument("--names", action="store_true",

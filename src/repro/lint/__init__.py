@@ -18,7 +18,8 @@ from .findings import Finding, Rule
 from .project import LintUsageError, Module, Project, load_project
 from .rules import (DEFAULT_RULES, EventExhaustiveness, FrozenRecords,
                     NoGlobalRng, NoSilentExcept, NoUnpicklableSubmit,
-                    NoWallClock, SeedThreading, ShmLifecycle)
+                    NoWallClock, SeedThreading, ShmLifecycle,
+                    UnboundedQueue)
 from .runner import LintResult, lint_command, main, run_lint
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "Rule",
     "SeedThreading",
     "ShmLifecycle",
+    "UnboundedQueue",
     "lint_command",
     "load_baseline",
     "load_project",

@@ -29,6 +29,7 @@ __all__ = [
     "NoWallClock",
     "SeedThreading",
     "ShmLifecycle",
+    "UnboundedQueue",
 ]
 
 #: the two protocol modules whose dataclasses are wire/event records
@@ -522,6 +523,66 @@ class NoUnpicklableSubmit:
         return nested - top_level
 
 
+class UnboundedQueue:
+    """Service-side queues must be bounded.
+
+    The campaign service is a long-lived server: an
+    ``asyncio.Queue()`` / ``queue.Queue()`` constructed without a
+    ``maxsize`` inside ``src/repro/service/`` grows without limit under
+    a fast producer, turning client pressure into server memory
+    exhaustion instead of an explicit 503.  Admission control
+    (:class:`repro.service.queue.JobQueue`'s bounded buffer) is the
+    contract; every queue there must declare its bound.  Other layers
+    (e.g. the finite event relay in ``api/handle.py``) drain a known
+    number of items and stay exempt.
+    """
+
+    rule_id = "no-unbounded-queue"
+    summary = ("queue constructors in src/repro/service/ must pass an "
+               "explicit maxsize bound")
+    service_prefix = "src/repro/service/"
+    _queue_types = frozenset({
+        "asyncio.Queue", "asyncio.LifoQueue", "asyncio.PriorityQueue",
+        "asyncio.queues.Queue",
+        "queue.Queue", "queue.LifoQueue", "queue.PriorityQueue",
+        "queue.SimpleQueue",
+        "multiprocessing.Queue", "multiprocessing.SimpleQueue",
+    })
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if not module.relpath.startswith(self.service_prefix):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                canonical = module.resolve(node.func)
+                if canonical not in self._queue_types:
+                    continue
+                if self._bounded(node):
+                    continue
+                yield from _finding(
+                    module, node, self.rule_id,
+                    f"{canonical}() without maxsize is unbounded; a "
+                    "long-lived server must refuse work explicitly "
+                    "(bounded queue -> 503) instead of buffering until "
+                    "memory runs out")
+
+    @staticmethod
+    def _bounded(node: ast.Call) -> bool:
+        """True when a positive bound is passed (positionally or as
+        ``maxsize=``).  A literal ``0``/``None`` bound — queue-speak for
+        "infinite" — counts as unbounded."""
+        candidates = list(node.args[:1]) + [kw.value for kw in node.keywords
+                                            if kw.arg == "maxsize"]
+        if not candidates:
+            return False
+        bound = candidates[0]
+        if isinstance(bound, ast.Constant) and bound.value in (0, None):
+            return False
+        return True
+
+
 class SeedThreading:
     """Functions that accept randomness must actually use it.
 
@@ -589,5 +650,5 @@ class SeedThreading:
 DEFAULT_RULES: tuple[Rule, ...] = (
     NoGlobalRng(), NoWallClock(), ShmLifecycle(), NoSilentExcept(),
     FrozenRecords(), EventExhaustiveness(), NoUnpicklableSubmit(),
-    SeedThreading(),
+    UnboundedQueue(), SeedThreading(),
 )

@@ -1,0 +1,45 @@
+"""repro.service — the campaign service: async jobs over the registry.
+
+The service turns the typed :mod:`repro.api` entry point into a
+long-lived job server: clients submit :class:`~repro.api.request.
+RunRequest`\\ s over HTTP, a bounded :class:`~repro.service.queue.
+JobQueue` feeds a worker pool driving :class:`~repro.api.handle.
+RunHandle`\\ s, and every run's typed event stream is mirrored to
+clients as Server-Sent Events — the same frames, in the same order, as
+a direct in-process run.
+
+Durability is per job: a ``durable`` submission gets a campaign journal
+inside the server's :class:`~repro.service.store.JobStore`, so a killed
+server restarts, re-enqueues the interrupted job, and resumes from the
+journal without re-evaluating finished cells.  Results are bit-
+identical either way — the service adds scheduling and durability, not
+numerics.
+
+Pieces (stdlib only; no web framework):
+
+* :mod:`~repro.service.wire` — the strict JSON wire schema
+* :mod:`~repro.service.jobs` — the job lifecycle state machine
+* :mod:`~repro.service.store` — crash-safe persistence + recovery
+* :mod:`~repro.service.queue` — bounded queue, worker pool, budgets
+* :mod:`~repro.service.server` — the asyncio HTTP/SSE server
+* :mod:`~repro.service.client` — the blocking client the CLI uses
+
+CLI: ``repro serve`` runs the server; ``repro submit/status/watch/
+fetch/cancel`` talk to it.  See ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+from .client import RequestRefused, ServiceClient, ServiceError
+from .jobs import Job, JobCancelled, JobRecord, JobState
+from .queue import BudgetExceeded, CacheBudget, JobQueue
+from .server import CampaignServer, start_in_thread
+from .store import JobStore
+from .wire import WireError
+
+__all__ = [
+    "BudgetExceeded", "CacheBudget", "CampaignServer",
+    "Job", "JobCancelled", "JobQueue", "JobRecord", "JobState", "JobStore",
+    "RequestRefused", "ServiceClient", "ServiceError", "WireError",
+    "start_in_thread",
+]

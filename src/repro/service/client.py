@@ -1,0 +1,200 @@
+"""The synchronous service client (``repro submit/status/watch/fetch``).
+
+A thin typed layer over :mod:`http.client` — the server is stdlib
+asyncio, the client is stdlib blocking sockets, and the wire schema
+(:mod:`repro.service.wire`) is the only contract between them.
+
+Error mapping mirrors the CLI's exit-code convention: a 4xx whose body
+the server produced for a *validation* failure (bad wire payload,
+unknown experiment, unknown job id) raises :class:`RequestRefused`
+(a ``ValueError`` → exit 2); transport failures and 5xx raise
+:class:`ServiceError` (→ exit 1).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from collections.abc import Iterator
+
+from . import wire
+from .jobs import TERMINAL, JobRecord
+
+__all__ = ["RequestRefused", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service is unreachable or answered a server-side error;
+    ``status`` carries the HTTP status (None for transport failures)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class RequestRefused(ValueError):
+    """The service refused the request as invalid (4xx); carries the
+    HTTP status on ``.status``."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking client for one campaign server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 client: str = "cli", timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.client = client
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _connection(self, timeout: float | None = None):
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+            if timeout is None else timeout)
+
+    def _call(self, method: str, path: str, payload: dict | None = None):
+        body = None
+        headers = {"X-Repro-Client": self.client}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = self._connection()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except OSError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: "
+                f"{error}") from error
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(f"service answered non-JSON "
+                               f"({response.status})") from error
+        if response.status >= 500:
+            raise ServiceError(decoded.get("error",
+                                           f"HTTP {response.status}"),
+                               status=response.status)
+        if response.status >= 400:
+            raise RequestRefused(response.status,
+                                 decoded.get("error",
+                                             f"HTTP {response.status}"))
+        return decoded
+
+    # -- endpoints ------------------------------------------------------
+    def health(self) -> dict:
+        return self._call("GET", "/v1/health")
+
+    def submit(self, request, durable: bool = False) -> JobRecord:
+        """Submit one :class:`~repro.api.request.RunRequest`; returns
+        the queued job's record."""
+        payload = wire.encode_request(request, durable)
+        return wire.decode_job(self._call("POST", "/v1/jobs", payload))
+
+    def jobs(self) -> list[JobRecord]:
+        payload = self._call("GET", "/v1/jobs")
+        return [wire.decode_job(entry) for entry in payload["jobs"]]
+
+    def job(self, job_id: str) -> JobRecord:
+        return wire.decode_job(self._call("GET", f"/v1/jobs/{job_id}"))
+
+    def result(self, job_id: str) -> dict:
+        """The finished report's wire form (decode with
+        :func:`repro.service.wire.decode_report`)."""
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return wire.decode_job(self._call("POST",
+                                          f"/v1/jobs/{job_id}/cancel"))
+
+    # -- streaming ------------------------------------------------------
+    def stream(self, job_id: str, since: int = 0,
+               timeout: float | None = None) -> Iterator[tuple]:
+        """Yield ``("event", RunEvent)`` frames, then ``("end",
+        JobRecord)`` once the job is terminal.
+
+        One SSE connection; raises :class:`ServiceError` if it drops
+        before the ``end`` frame (see :meth:`watch` for the reconnect
+        loop).
+        """
+        connection = self._connection(timeout=timeout)
+        try:
+            connection.request(
+                "GET", f"/v1/jobs/{job_id}/events?since={since}",
+                headers={"X-Repro-Client": self.client})
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw.decode("utf-8"))["error"]
+                except (KeyError, ValueError):
+                    message = f"HTTP {response.status}"
+                if response.status >= 500:
+                    raise ServiceError(message)
+                raise RequestRefused(response.status, message)
+            name, data = None, None
+            while True:
+                line = response.fp.readline()
+                if not line:
+                    raise ServiceError(
+                        f"event stream for {job_id} ended without an "
+                        "end frame (server died?)")
+                line = line.decode("utf-8").rstrip("\n")
+                if line.startswith("event: "):
+                    name = line[len("event: "):]
+                elif line.startswith("data: "):
+                    data = json.loads(line[len("data: "):])
+                elif line == "" and name is not None:
+                    if name == "end":
+                        yield "end", wire.decode_job(data)
+                        return
+                    yield "event", wire.decode_event(data)
+                    name, data = None, None
+        finally:
+            connection.close()
+
+    def watch(self, job_id: str, on_event=None) -> JobRecord:
+        """Follow ``job_id`` to a terminal state, reconnecting across
+        server restarts; returns the final record.
+
+        Within one server life the ``since`` cursor advances only over
+        delivered frames, so a dropped connection replays nothing and
+        skips nothing.  A server *restart* starts a fresh event buffer
+        (the resumed run re-emits from its journal's frontier), so the
+        cursor resets to 0 and early frames of the new life may repeat
+        ones already seen — consumers pinning exact event sequences
+        should read a single life's :meth:`stream`.
+        """
+        import time
+        index = 0
+        while True:
+            try:
+                for kind, item in self.stream(job_id, since=index):
+                    if kind == "end":
+                        return item
+                    index += 1
+                    if on_event is not None:
+                        on_event(item)
+            except ServiceError:
+                # server gone (restart window?) — poll until it answers
+                time.sleep(0.5)
+                record = self._poll_job(job_id)
+                if record is None:
+                    continue
+                if record.state in TERMINAL:
+                    return record
+                index = 0  # a new server life rebuilt the buffer
+
+    def _poll_job(self, job_id: str) -> JobRecord | None:
+        try:
+            return self.job(job_id)
+        except (ServiceError, RequestRefused):
+            return None

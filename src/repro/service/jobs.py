@@ -1,0 +1,150 @@
+"""Job lifecycle: the typed state machine every service job follows.
+
+A job is one submitted :class:`~repro.api.request.RunRequest` moving
+through ``queued → running → done | failed | cancelled``.  Two views of
+the same job exist:
+
+* :class:`JobRecord` — the frozen snapshot that crosses the wire and
+  lands in the job store.  Pure data, safe to persist and compare.
+* :class:`Job` — the server's live object: the record plus the
+  buffered event frames, the asyncio wakeup machinery event streams
+  wait on, and the cancellation flag the worker checks.
+
+State transitions are validated (:data:`TRANSITIONS`); the one
+non-obvious edge is ``running → queued``, taken when a killed server
+restarts and re-enqueues the jobs that were mid-flight — durable jobs
+then resume from their journal, skipping every finished cell.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import os
+from dataclasses import dataclass, replace
+
+from ..api.request import RunRequest
+
+__all__ = ["Job", "JobCancelled", "JobRecord", "JobState", "TERMINAL",
+           "TRANSITIONS", "new_job_id"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states, mirrored to clients as ``JobStateChanged``."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: states a job never leaves
+TERMINAL = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+
+#: the allowed edges of the lifecycle graph.  ``RUNNING → QUEUED`` is
+#: the restart-requeue edge; ``QUEUED → CANCELLED`` cancels a job that
+#: never started.
+TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset({JobState.DONE, JobState.FAILED,
+                                 JobState.CANCELLED, JobState.QUEUED}),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+class JobCancelled(RuntimeError):
+    """Raised inside the engine thread to abort a cancelled job's
+    campaign at the next cell boundary."""
+
+
+def new_job_id() -> str:
+    """A fresh opaque job id (random, no wall-clock involved)."""
+    return "job-" + os.urandom(6).hex()
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's persistent snapshot (wire form via
+    :func:`repro.service.wire.encode_job`).
+
+    ``seq`` is the store-assigned submission order (listing order and
+    the tie-breaker for restart re-enqueueing); ``resumes`` counts how
+    many server lives have re-enqueued this job; ``cache_bytes`` is the
+    budget figure charged against the client (the request's own
+    ``cache_bytes`` or the engine default).
+    """
+
+    job_id: str
+    seq: int
+    client: str
+    state: JobState
+    durable: bool
+    request: RunRequest
+    error: str = ""
+    resumes: int = 0
+    cache_bytes: int = 0
+
+
+class Job:
+    """A live job on the server: record + event buffer + wakeups.
+
+    Event frames (already wire-encoded dicts) append to :attr:`events`;
+    every append rotates the wakeup event so any number of concurrent
+    streams can wait without polling.  All methods run on the server's
+    event loop — worker threads publish via
+    ``loop.call_soon_threadsafe``.
+    """
+
+    def __init__(self, record: JobRecord):
+        self.record = record
+        self.events: list[dict] = []
+        self.cancel_requested = False
+        self._wakeup = asyncio.Event()
+        #: called with the new record after every transition (the store
+        #: hooks persistence in here)
+        self.on_change = None
+
+    @property
+    def state(self) -> JobState:
+        return self.record.state
+
+    def transition(self, state: JobState, error: str = "") -> JobRecord:
+        """Move to ``state``, validating the edge, and notify."""
+        allowed = TRANSITIONS[self.record.state]
+        if state not in allowed:
+            raise RuntimeError(
+                f"job {self.record.job_id} cannot move "
+                f"{self.record.state.value} -> {state.value}")
+        resumes = self.record.resumes
+        if self.record.state is JobState.RUNNING and state is JobState.QUEUED:
+            resumes += 1
+        self.record = replace(self.record, state=state, error=error,
+                              resumes=resumes)
+        if self.on_change is not None:
+            self.on_change(self.record)
+        self._notify()
+        return self.record
+
+    def publish(self, frame: dict) -> None:
+        """Append one wire-encoded event frame and wake all streams."""
+        self.events.append(frame)
+        self._notify()
+
+    def _notify(self) -> None:
+        wakeup, self._wakeup = self._wakeup, asyncio.Event()
+        wakeup.set()
+
+    async def next_batch(self, index: int) -> list[dict]:
+        """Frames past ``index``, waiting if none yet and the job is
+        still live.  Returns ``[]`` only once the job is terminal and
+        fully drained."""
+        while True:
+            waiter = self._wakeup
+            if len(self.events) > index:
+                return self.events[index:]
+            if self.record.state in TERMINAL:
+                return []
+            await waiter.wait()

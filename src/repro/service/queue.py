@@ -1,0 +1,241 @@
+"""The job queue: a bounded buffer feeding a worker pool of runs.
+
+The server's event loop owns one :class:`JobQueue`: submissions land in
+a **bounded** ``asyncio.Queue`` (an unbounded queue would let one
+client swallow the server's memory — the ``no-unbounded-queue`` lint
+rule pins this), and ``workers`` asyncio tasks pop jobs and drive each
+one's :class:`~repro.api.handle.RunHandle` on a thread
+(``asyncio.to_thread``), so the event loop stays responsive while
+campaigns grind.
+
+Per-client admission control is a :class:`CacheBudget`: every queued or
+running job charges its engine ``cache_bytes`` figure (the request's
+own cap, or the engine's default input-cache cap) against the
+submitting client; a submission that would exceed the client's budget
+is refused up front (HTTP 429) rather than discovered as memory
+pressure later.
+
+Events cross the thread boundary one way: the engine thread wire-
+encodes each event and hands the frame to the loop via
+``call_soon_threadsafe`` — the loop side alone mutates jobs.
+Cancellation crosses the other way: the relay callback checks the
+job's flag and raises :class:`~repro.service.jobs.JobCancelled` inside
+the engine thread, aborting the campaign at the next cell boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+
+from .. import api
+from ..api.events import JobStateChanged
+from ..core.engine import DEFAULT_INPUT_CACHE_BYTES
+from . import wire
+from .jobs import (TERMINAL, Job, JobCancelled, JobRecord, JobState,
+                   new_job_id)
+from .store import JobStore
+
+__all__ = ["BudgetExceeded", "CacheBudget", "JobQueue"]
+
+#: default per-client budget: four default-sized input caches
+DEFAULT_CLIENT_BUDGET = 4 * DEFAULT_INPUT_CACHE_BYTES
+
+
+class BudgetExceeded(RuntimeError):
+    """A submission would push its client past its cache budget."""
+
+
+class CacheBudget:
+    """Per-client accounting of the cache bytes their live jobs hold.
+
+    Reservations are keyed by job id, so releasing is idempotent — a
+    job cancelled while queued releases once no matter how many paths
+    observe its terminal transition.
+    """
+
+    def __init__(self, limit_bytes: int = DEFAULT_CLIENT_BUDGET):
+        self.limit_bytes = int(limit_bytes)
+        self._held: dict[str, tuple[str, int]] = {}
+
+    def used(self, client: str) -> int:
+        return sum(nbytes for holder, nbytes in self._held.values()
+                   if holder == client)
+
+    def reserve(self, job_id: str, client: str, nbytes: int) -> None:
+        used = self.used(client)
+        if used + nbytes > self.limit_bytes:
+            raise BudgetExceeded(
+                f"client {client!r} holds {used} cache bytes across live "
+                f"jobs; {nbytes} more would exceed the "
+                f"{self.limit_bytes}-byte budget — wait for a job to "
+                "finish or submit with a smaller cache_bytes")
+        self._held[job_id] = (client, nbytes)
+
+    def adopt(self, job_id: str, client: str, nbytes: int) -> None:
+        """Account for a recovered job without re-checking the limit —
+        a previous life already admitted it; refusing it now would strand
+        a journaled campaign."""
+        self._held[job_id] = (client, nbytes)
+
+    def release(self, job_id: str) -> None:
+        self._held.pop(job_id, None)
+
+
+class JobQueue:
+    """Bounded job buffer + worker pool over one :class:`JobStore`."""
+
+    def __init__(self, store: JobStore, workers: int = 2,
+                 queue_size: int = 16,
+                 client_budget_bytes: int = DEFAULT_CLIENT_BUDGET):
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.budget = CacheBudget(client_budget_bytes)
+        # bounded by design: admission control, not memory pressure
+        self._queue: asyncio.Queue[Job] = asyncio.Queue(
+            maxsize=max(1, int(queue_size)))
+        self.jobs: dict[str, Job] = {}
+        self._seq = 1
+        self._tasks: list[asyncio.Task] = []
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Recover persisted jobs, then start the worker tasks.
+
+        Finished jobs come back visible (status/result keep working
+        across lives); non-terminal jobs re-enter the queue — durable
+        ones will resume from their journal.
+        """
+        finished, to_requeue = self.store.recover()
+        for record in finished:
+            self.jobs[record.job_id] = Job(record)
+        # workers first: a recovered backlog larger than the queue bound
+        # must drain into them rather than deadlock the startup put()s
+        self._tasks = [asyncio.create_task(self._worker(), name=f"worker-{n}")
+                       for n in range(self.workers)]
+        for record in to_requeue:
+            job = Job(record)
+            job.on_change = self.store.save_record
+            self.jobs[record.job_id] = job
+            self.budget.adopt(record.job_id, record.client,
+                              record.cache_bytes)
+            self._publish_state(job)
+            await self._queue.put(job)
+        self._seq = 1 + max((job.record.seq for job in self.jobs.values()),
+                            default=0)
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+
+    # -- submission -----------------------------------------------------
+    def submit(self, request, durable: bool, client: str) -> JobRecord:
+        """Admit one validated request; raises :class:`BudgetExceeded`
+        or ``asyncio.QueueFull`` (backpressure) instead of queueing.
+
+        The caller (the server) has already run the request through
+        :func:`repro.api.submit`, so nothing malformed reaches here.
+        """
+        job_id = new_job_id()
+        cache_bytes = (request.cache_bytes if request.cache_bytes is not None
+                       else DEFAULT_INPUT_CACHE_BYTES)
+        record = JobRecord(job_id=job_id, seq=self._seq, client=client,
+                           state=JobState.QUEUED, durable=durable,
+                           request=request, cache_bytes=cache_bytes)
+        self.budget.reserve(job_id, client, cache_bytes)
+        job = Job(record)
+        job.on_change = self.store.save_record
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.budget.release(job_id)
+            raise
+        self._seq += 1
+        self.jobs[job_id] = job
+        self.store.save_record(record)
+        self._publish_state(job)
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Request cancellation; queued jobs cancel immediately, running
+        jobs abort at their next cell boundary."""
+        job = self.jobs[job_id]
+        if job.state in TERMINAL:
+            return job.record
+        job.cancel_requested = True
+        if job.state is JobState.QUEUED:
+            job.transition(JobState.CANCELLED)
+            self._publish_state(job)
+            self.budget.release(job_id)
+        return job.record
+
+    # -- workers --------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        if job.state in TERMINAL:  # cancelled while queued
+            return
+        record = job.record
+        job.on_change = self.store.save_record
+        try:
+            if job.cancel_requested:
+                job.transition(JobState.CANCELLED)
+                self._publish_state(job)
+                return
+            job.transition(JobState.RUNNING)
+            self._publish_state(job)
+            loop = asyncio.get_running_loop()
+            payload = await asyncio.to_thread(self._execute, job, loop)
+            # result hits disk before the terminal state does, so a
+            # client that observes `done` always finds the report
+            self.store.save_result(record.job_id, payload)
+            job.transition(JobState.DONE)
+            self._publish_state(job)
+        except JobCancelled:
+            job.transition(JobState.CANCELLED)
+            self._publish_state(job)
+        except Exception as error:
+            job.transition(JobState.FAILED,
+                           error=f"{type(error).__name__}: {error}")
+            self._publish_state(job)
+        finally:
+            self.budget.release(record.job_id)
+
+    def _execute(self, job: Job, loop: asyncio.AbstractEventLoop) -> dict:
+        """Drive one run on a worker thread; returns the report's wire
+        form.  Runs off-loop — touch ``job`` only via the loop."""
+        record = job.record
+        request = record.request
+        if record.durable:
+            journal = self.store.journal_path(record.job_id)
+            request = replace(request, journal=str(journal),
+                              resume=record.resumes > 0)
+        handle = api.submit(request)
+
+        def relay(event) -> None:
+            if job.cancel_requested:
+                raise JobCancelled(record.job_id)
+            frame = wire.encode_event(event)
+            loop.call_soon_threadsafe(job.publish, frame)
+
+        handle.subscribe(relay)
+        report = handle.run()
+        return wire.encode_report(report)
+
+    def _publish_state(self, job: Job) -> None:
+        record = job.record
+        job.publish(wire.encode_event(JobStateChanged(
+            job_id=record.job_id, state=record.state.value,
+            error=record.error)))

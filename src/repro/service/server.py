@@ -1,0 +1,381 @@
+"""The campaign service: an asyncio HTTP job server over the registry.
+
+Pure stdlib — the server speaks just enough HTTP/1.1 (request line,
+headers, ``Content-Length`` bodies, connection-close responses) for the
+:mod:`repro.service.client` and ``curl`` to talk to it; no third-party
+framework is imported, so ``repro serve`` runs anywhere the package
+does.
+
+Endpoints (all JSON; error bodies are ``{"error": msg}``):
+
+====== ============================= =====================================
+GET    ``/v1/health``                liveness + job counts
+POST   ``/v1/jobs``                  submit (wire request body) → record
+GET    ``/v1/jobs``                  all job records, submission order
+GET    ``/v1/jobs/<id>``             one job record
+GET    ``/v1/jobs/<id>/events``      SSE event stream (``?since=N``)
+GET    ``/v1/jobs/<id>/result``      the finished report (409 until done)
+POST   ``/v1/jobs/<id>/cancel``      request cancellation → record
+====== ============================= =====================================
+
+Submissions are validated **before** queueing: the body must decode
+against the strict wire schema *and* pass :func:`repro.api.submit`
+against the registry — a malformed submission is answered 400 and never
+constructs a job.  Budget refusals are 429, a full queue is 503
+(backpressure: retry later), both before any state exists.
+
+The event stream is Server-Sent Events: one ``event: <Type>`` /
+``data: <json>`` frame per run event (exactly the frames the worker
+relayed, so a client replays the run bit-for-bit), terminated by an
+``event: end`` frame carrying the job's final record once the job is
+terminal and the buffer is drained.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import threading
+from dataclasses import replace
+from pathlib import Path
+
+from .. import api
+from ..api.report import atomic_write_text
+from . import wire
+from .queue import DEFAULT_CLIENT_BUDGET, BudgetExceeded, JobQueue
+from .store import JobStore
+
+__all__ = ["CampaignServer", "add_serve_arguments", "main",
+           "serve_from_args", "start_in_thread"]
+
+#: request caps: nothing legitimate comes close
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            503: "Service Unavailable"}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class CampaignServer:
+    """One server instance: a :class:`JobQueue` behind a TCP listener."""
+
+    def __init__(self, store: Path | str, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 2, queue_size: int = 16,
+                 client_budget_bytes: int = DEFAULT_CLIENT_BUDGET):
+        self.store = JobStore(store)
+        self.queue = JobQueue(self.store, workers=workers,
+                              queue_size=queue_size,
+                              client_budget_bytes=client_budget_bytes)
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        await self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- http plumbing --------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, query, headers, body = await _read_request(
+                    reader)
+            except _HttpError as error:
+                await _send_json(writer, error.status,
+                                 {"error": error.message})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            try:
+                await self._dispatch(writer, method, path, query, headers,
+                                     body)
+            except _HttpError as error:
+                await _send_json(writer, error.status,
+                                 {"error": error.message})
+            except ValueError as error:
+                # wire/api validation: the client's payload is at fault
+                await _send_json(writer, 400, {"error": str(error)})
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(self, writer, method: str, path: str,
+                        query: dict, headers: dict, body: bytes) -> None:
+        parts = [part for part in path.split("/") if part]
+        if parts == ["v1", "health"] and method == "GET":
+            await _send_json(writer, 200, self._health())
+            return
+        if parts == ["v1", "jobs"]:
+            if method == "POST":
+                await self._submit(writer, headers, body)
+                return
+            if method == "GET":
+                records = sorted(self.queue.jobs.values(),
+                                 key=lambda job: job.record.seq)
+                await _send_json(writer, 200, {
+                    "jobs": [wire.encode_job(job.record)
+                             for job in records]})
+                return
+            raise _HttpError(405, f"method {method} not allowed here")
+        if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.queue.jobs.get(parts[2])
+            if job is None:
+                raise _HttpError(404, f"no job {parts[2]!r}")
+            action = parts[3] if len(parts) > 3 else None
+            if action is None and method == "GET":
+                await _send_json(writer, 200, wire.encode_job(job.record))
+                return
+            if action == "events" and method == "GET":
+                await self._stream_events(writer, job, query)
+                return
+            if action == "result" and method == "GET":
+                payload = self.store.load_result(job.record.job_id)
+                if payload is None:
+                    raise _HttpError(
+                        409, f"job {job.record.job_id} is "
+                        f"{job.record.state.value}; no result yet")
+                await _send_json(writer, 200, payload)
+                return
+            if action == "cancel" and method == "POST":
+                record = self.queue.cancel(job.record.job_id)
+                await _send_json(writer, 200, wire.encode_job(record))
+                return
+            raise _HttpError(405 if action in (None, "events", "result",
+                                               "cancel") else 404,
+                             f"cannot {method} {path}")
+        raise _HttpError(404, f"no route {path!r}")
+
+    # -- endpoints ------------------------------------------------------
+    def _health(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.queue.jobs.values():
+            key = job.record.state.value
+            states[key] = states.get(key, 0) + 1
+        return {"ok": True, "wire_version": wire.WIRE_VERSION,
+                "jobs": states}
+
+    async def _submit(self, writer, headers: dict, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"body is not JSON: {error}") from error
+        # strict wire decode, then full registry validation — nothing
+        # malformed ever constructs a job, let alone queues one
+        request, durable = wire.decode_request(payload)
+        probe = request
+        if durable:
+            # validate against the journal the store will assign, so an
+            # experiment without journal support is refused here
+            probe = replace(request,
+                            journal=str(self.store.journal_path("probe")),
+                            resume=True)
+        api.submit(probe)
+        client = headers.get("x-repro-client", "anonymous")
+        try:
+            record = self.queue.submit(request, durable, client)
+        except BudgetExceeded as error:
+            raise _HttpError(429, str(error)) from error
+        except asyncio.QueueFull:
+            raise _HttpError(503, "job queue is full; retry later") from None
+        await _send_json(writer, 200, wire.encode_job(record))
+
+    async def _stream_events(self, writer, job, query: dict) -> None:
+        try:
+            index = int(query.get("since", "0"))
+        except ValueError:
+            raise _HttpError(400, "since must be an integer") from None
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-store\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        while True:
+            frames = await job.next_batch(index)
+            if not frames:
+                break
+            for frame in frames:
+                name = frame.get("event", "message")
+                data = json.dumps(frame, separators=(",", ":"))
+                writer.write(f"event: {name}\ndata: {data}\n\n"
+                             .encode("utf-8"))
+            index += len(frames)
+            await writer.drain()
+        final = json.dumps(wire.encode_job(job.record),
+                           separators=(",", ":"))
+        writer.write(f"event: end\ndata: {final}\n\n".encode("utf-8"))
+        await writer.drain()
+
+
+# -- raw http ---------------------------------------------------------------
+
+async def _read_request(reader: asyncio.StreamReader):
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > MAX_HEADER_BYTES:
+        raise _HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise _HttpError(400, f"malformed request line {lines[0]!r}") \
+            from None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    path, _, raw_query = target.partition("?")
+    query: dict[str, str] = {}
+    for pair in raw_query.split("&"):
+        if pair:
+            key, _, value = pair.partition("=")
+            query[key] = value
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"body of {length} bytes exceeds the "
+                         f"{MAX_BODY_BYTES}-byte cap")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, query, headers, body
+
+
+async def _send_json(writer: asyncio.StreamWriter, status: int,
+                     payload: dict) -> None:
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+# -- entry points -----------------------------------------------------------
+
+async def _amain(server: CampaignServer, port_file: Path | None,
+                 ready: threading.Event | None = None) -> None:
+    await server.start()
+    if port_file is not None:
+        atomic_write_text(port_file, f"{server.port}\n")
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+
+
+@contextlib.contextmanager
+def start_in_thread(store: Path | str, **options):
+    """Run a server on a daemon thread; yields the bound port.
+
+    The in-process harness the docs snippet and the tests use::
+
+        with start_in_thread(tmp / "store", workers=1) as port:
+            client = ServiceClient(port=port)
+            ...
+    """
+    server = CampaignServer(store, **options)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    task_box: list[asyncio.Task] = []
+
+    def drive() -> None:
+        asyncio.set_event_loop(loop)
+        task = loop.create_task(_amain(server, None, ready))
+        task_box.append(task)
+        with contextlib.suppress(asyncio.CancelledError):
+            loop.run_until_complete(task)
+        loop.close()
+
+    thread = threading.Thread(target=drive, name="repro-service",
+                              daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("service failed to start within 30s")
+    try:
+        yield server.port
+    finally:
+        with contextlib.suppress(RuntimeError):  # loop may already be done
+            loop.call_soon_threadsafe(task_box[0].cancel)
+        thread.join(timeout=30)
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``repro serve`` options (shared with the standalone parser)."""
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--store", default="service-store",
+                        help="durability directory (records, results, "
+                        "journals)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent campaign runs")
+    parser.add_argument("--queue-size", type=int, default=16,
+                        help="bounded submission queue length")
+    parser.add_argument("--client-budget-mib", type=int,
+                        default=DEFAULT_CLIENT_BUDGET >> 20,
+                        help="per-client cache-bytes budget in MiB")
+    parser.add_argument("--port-file", default=None,
+                        help="write the bound port here once listening "
+                        "(for --port 0 harnesses)")
+    parser.add_argument("--preload", action="append", default=[],
+                        metavar="MODULE",
+                        help="import MODULE before serving (registers "
+                        "extra experiments); repeatable")
+
+
+def serve_from_args(args) -> int:
+    """Run the service in the foreground from parsed serve options."""
+    import importlib
+    for module in args.preload:
+        importlib.import_module(module)
+    server = CampaignServer(args.store, host=args.host, port=args.port,
+                            workers=args.workers,
+                            queue_size=args.queue_size,
+                            client_budget_bytes=args.client_budget_mib << 20)
+    port_file = Path(args.port_file) if args.port_file else None
+    try:
+        asyncio.run(_amain(server, port_file))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def main(argv=None) -> int:
+    """``repro serve`` — run the campaign service in the foreground."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the experiment registry as an async job API.")
+    add_serve_arguments(parser)
+    return serve_from_args(parser.parse_args(argv))

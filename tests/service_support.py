@@ -1,0 +1,96 @@
+"""Registry plug-in for the service end-to-end tests.
+
+Registers ``svc-tiny``: a journal-supporting campaign over a miniature
+seeded BNN (no MNIST, no training), fast enough to finish in seconds
+yet slow enough (via the ``delay`` param) for a test to SIGKILL the
+server mid-campaign at a chosen cell.
+
+Re-run detection rides :class:`repro.testing.chaos.ChaosSpec` claim
+tokens: when the ``REPRO_SVC_CLAIM`` environment variable names a
+scratch directory, every *freshly evaluated* cell claims a
+``cell-<point>-<repeat>`` token there.  The campaign journals each cell
+**before** its progress callback fires, and a resumed run never
+re-emits journaled cells, so across any number of server lives each
+token is claimed at most once — a second claim means a finished cell
+was re-evaluated, and the run fails loudly.
+
+The server loads this module via ``repro serve --preload
+service_support`` (tests put ``tests/`` on the server's PYTHONPATH).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.api import Param, experiment
+
+#: default sweep grid: 4 rates x 3 repeats = 12 cells
+_PARAMS = (
+    Param("rates", "floats", [0.0, 0.1, 0.2, 0.3], "bitflip rates swept"),
+    Param("repeats", "int", 3, "repetitions per rate"),
+    Param("delay", "float", 0.0,
+          "seconds slept after each fresh cell (kill-window throttle; "
+          "identical params on both sides keep reports comparable)"),
+    Param("rows", "int", 8, "crossbar rows"),
+    Param("cols", "int", 4, "crossbar cols"),
+    Param("seed", "int", 0, "campaign seed"),
+)
+
+
+def _workload(seed: int):
+    """A tiny two-layer binary MLP on synthetic data, fully seeded."""
+    from repro import nn
+    from repro.binary import QuantDense
+    from repro.data import Dataset
+    rng = np.random.default_rng(4321 + seed)
+    model = nn.Sequential([
+        QuantDense(6, input_quantizer="ste_sign",
+                   kernel_quantizer="ste_sign"),
+        nn.BatchNorm(),
+        nn.Sign(),
+        QuantDense(4, input_quantizer="ste_sign",
+                   kernel_quantizer="ste_sign"),
+    ]).build((12,), seed=seed)
+    x = rng.standard_normal((32, 12)).astype(np.float32)
+    y = rng.integers(0, 4, 32)
+    return model, Dataset(x, y)
+
+
+@experiment(
+    "svc-tiny",
+    description="Service e2e workload: tiny journaled bitflip sweep "
+                "with claim-token re-run detection.",
+    params=_PARAMS,
+    supports_journal=True,
+    quick=dict(rates=[0.0, 0.2], repeats=1))
+def _svc_tiny(ctx, rates, repeats, delay, rows, cols, seed):
+    from repro.core import FaultCampaign, FaultSpec
+    from repro.testing.chaos import ChaosSpec
+    model, test = _workload(seed)
+    claim_dir = os.environ.get("REPRO_SVC_CLAIM", "")
+    claims = ChaosSpec(scratch=claim_dir) if claim_dir else None
+    inner = ctx.progress_for("svc")
+
+    def progress(done, total, cell):
+        point, repeat, _accuracy = cell
+        if claims is not None \
+                and not claims.claim(f"cell-{point}-{repeat}"):
+            raise RuntimeError(
+                f"cell ({point}, {repeat}) was evaluated twice — the "
+                "resume skipped nothing")
+        if delay:
+            time.sleep(delay)
+        inner(done, total, cell)
+
+    with FaultCampaign(model, test.x, test.y, rows=rows, cols=cols,
+                       **ctx.engine_kwargs()) as campaign:
+        result = campaign.run(FaultSpec.bitflip, xs=list(rates),
+                              repeats=repeats, seed=seed, label="svc",
+                              journal=ctx.journal_for(),
+                              progress=progress)
+    return ctx.report(series={"svc": result}, raw=result,
+                      baseline=float(result.baseline),
+                      meta=dict(result.meta))

@@ -199,6 +199,34 @@ def test_report_json_roundtrip(tmp_path):
     assert report.artifacts["report"] == str(path)
 
 
+def test_report_save_is_atomic(tmp_path, monkeypatch):
+    """``repro run --out`` can never leave a torn half-report: a crash
+    mid-write preserves the previous complete file (regression for the
+    direct ``path.write_text`` save, which truncated before writing)."""
+    import repro.api.report as report_module
+
+    report = api.run("sweep", params=TINY)
+    target = tmp_path / "report.json"
+    target.write_text('{"old": "complete"}')
+
+    real_replace = report_module.os.replace
+
+    def torn_replace(src, dst):
+        raise OSError("simulated crash between write and publish")
+
+    monkeypatch.setattr(report_module.os, "replace", torn_replace)
+    with pytest.raises(OSError, match="simulated crash"):
+        report.save(target)
+    # the old file is untouched and the temp sibling was cleaned up
+    assert json.loads(target.read_text()) == {"old": "complete"}
+    assert list(tmp_path.iterdir()) == [target]
+
+    monkeypatch.setattr(report_module.os, "replace", real_replace)
+    path = report.save(target)
+    assert json.loads(path.read_text())["experiment"] == "sweep"
+    assert list(tmp_path.iterdir()) == [target]
+
+
 # -- bit-identity against the legacy drivers ------------------------------
 
 def _legacy_lenet_test(images):

@@ -18,8 +18,8 @@ from pathlib import Path
 from repro.lint import (Baseline, BaselineEntry, EventExhaustiveness,
                         FrozenRecords, LintUsageError, NoGlobalRng,
                         NoSilentExcept, NoUnpicklableSubmit, NoWallClock,
-                        SeedThreading, ShmLifecycle, load_baseline,
-                        run_lint)
+                        SeedThreading, ShmLifecycle, UnboundedQueue,
+                        load_baseline, run_lint)
 from repro.lint.runner import lint_command
 from repro.lint.runner import main as lint_main
 
@@ -441,6 +441,47 @@ def test_seed_threading_good_threaded_and_tests_exempt(tmp_path):
     assert findings == []
 
 
+# -- no-unbounded-queue ----------------------------------------------------
+
+def test_unbounded_queue_bad_in_service_package(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/service/a.py": """\
+            import asyncio
+            import queue
+
+            def build():
+                jobs = asyncio.Queue()
+                backlog = queue.Queue()
+                infinite = asyncio.Queue(maxsize=0)
+                return jobs, backlog, infinite
+            """,
+    }, rules=[UnboundedQueue()])
+    assert rule_ids(findings) == ["no-unbounded-queue"] * 3
+    assert [f.line for f in findings] == [5, 6, 7]
+
+
+def test_unbounded_queue_good_bounded_and_outside_service(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/service/a.py": """\
+            import asyncio
+            from queue import Queue
+
+            def build(size):
+                jobs = asyncio.Queue(maxsize=size)
+                backlog = Queue(16)
+                return jobs, backlog
+            """,
+        # unbounded queues outside the service package are exempt:
+        # the api relay drains a finite, known number of events
+        "src/repro/api/b.py": """\
+            import queue
+
+            relay = queue.Queue()
+            """,
+    }, rules=[UnboundedQueue()])
+    assert findings == []
+
+
 # -- suppressions ----------------------------------------------------------
 
 def test_inline_suppression_same_line_and_line_above(tmp_path):
@@ -569,7 +610,7 @@ def test_cli_list_rules_prints_catalog():
     for rule_id in ("no-global-rng", "no-wall-clock", "shm-lifecycle",
                     "no-silent-except", "frozen-records",
                     "event-exhaustiveness", "no-unpicklable-submit",
-                    "seed-threading"):
+                    "no-unbounded-queue", "seed-threading"):
         assert rule_id in text
 
 
