@@ -38,7 +38,8 @@ from __future__ import annotations
 from .errors import ApiError
 from .events import (CellDone, CheckpointDone, ExecutorDegraded,
                      JobQuarantined, JobRetried, JobStateChanged, RunEvent,
-                     RunFinished, RunStarted, RunWarning, WorkerLost)
+                     RunFinished, RunStarted, RunWarning, TelemetrySnapshot,
+                     WorkerLost)
 from .handle import RunContext, RunHandle
 from .registry import (REGISTRY, Experiment, ExperimentRegistry, Param,
                        experiment)
@@ -49,7 +50,7 @@ __all__ = [
     "ApiError",
     "RunEvent", "RunStarted", "CellDone", "CheckpointDone", "RunWarning",
     "JobRetried", "JobQuarantined", "WorkerLost", "ExecutorDegraded",
-    "JobStateChanged", "RunFinished",
+    "JobStateChanged", "TelemetrySnapshot", "RunFinished",
     "Param", "Experiment", "ExperimentRegistry", "REGISTRY", "experiment",
     "RunRequest", "EXECUTORS", "BACKENDS",
     "RunReport", "SeriesReport",

@@ -28,6 +28,12 @@ way:
     Service runs only (:mod:`repro.service`): the submitted job moved
     through its lifecycle (queued → running → done/failed/cancelled).
     Direct :class:`~repro.api.handle.RunHandle` runs never emit it.
+``TelemetrySnapshot``
+    The run's telemetry summary (:mod:`repro.obs`): per-phase span
+    totals, counters, and gauges — the same data stored in
+    ``RunReport.meta["telemetry"]``.  Emitted once, just before
+    ``RunFinished``.  Phase durations are clock readings, so two
+    otherwise identical runs differ here (and only here).
 ``RunFinished``
     Emitted once, after the :class:`~repro.api.report.RunReport` is
     assembled; carries the report.
@@ -43,7 +49,8 @@ from typing import Any
 
 __all__ = ["RunEvent", "RunStarted", "CellDone", "CheckpointDone",
            "RunWarning", "JobRetried", "JobQuarantined", "WorkerLost",
-           "ExecutorDegraded", "JobStateChanged", "RunFinished"]
+           "ExecutorDegraded", "JobStateChanged", "TelemetrySnapshot",
+           "RunFinished"]
 
 
 @dataclass(frozen=True)
@@ -143,6 +150,18 @@ class JobStateChanged(RunEvent):
     job_id: str
     state: str
     error: str = ""
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot(RunEvent):
+    """The run's telemetry summary (see :mod:`repro.obs`): ``phases``
+    maps span names to total seconds, ``counters``/``gauges`` mirror the
+    run's metrics registry.  Identical to
+    ``RunReport.meta["telemetry"]``."""
+
+    phases: dict[str, float]
+    counters: dict[str, float]
+    gauges: dict[str, float]
 
 
 @dataclass(frozen=True)

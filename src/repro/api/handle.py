@@ -25,12 +25,13 @@ import threading
 from dataclasses import asdict
 from pathlib import Path
 
+from .. import obs as _obs
 from ..core import resilience as core_resilience
 from ..core.engine import get_executor
 from .errors import ApiError
 from .events import (CellDone, ExecutorDegraded, JobQuarantined, JobRetried,
                      RunEvent, RunFinished, RunStarted, RunWarning,
-                     WorkerLost)
+                     TelemetrySnapshot, WorkerLost)
 from .registry import Experiment
 from .report import RunReport, SeriesReport, series_from_sweeps
 from .request import RunRequest
@@ -59,6 +60,10 @@ class RunContext:
         self._executor_obj = None
         #: journal paths issued so far, label -> path
         self.journals: dict[str, str] = {}
+        #: the run's telemetry (spans + metrics); RunHandle.run activates
+        #: it as the ambient observability, so every FaultCampaign the
+        #: experiment builds is traced without signature plumbing
+        self.obs = _obs.Observability()
 
     # -- events ---------------------------------------------------------
     def emit(self, event: RunEvent) -> None:
@@ -220,7 +225,9 @@ class RunHandle:
                               params=dict(self.params)))
         context = RunContext(self)
         try:
-            report = self.entry.func(context, **self.params)
+            with _obs.activated(context.obs), \
+                    context.obs.span("run", experiment=self.entry.name):
+                report = self.entry.func(context, **self.params)
         except BaseException:
             self.state = "failed"
             raise
@@ -233,8 +240,11 @@ class RunHandle:
                 f"{type(report).__name__}, not a RunReport "
                 "(build one with ctx.report(...))")
         report.meta["events"] = dict(self._event_counts)
+        telemetry = context.obs.telemetry()
+        report.meta["telemetry"] = telemetry
         self.report = report
         self.state = "done"
+        self._emit(TelemetrySnapshot(**telemetry))
         self._emit(RunFinished(report=report))
         return report
 

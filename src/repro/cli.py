@@ -15,6 +15,7 @@ Commands
 ``watch``         stream a job's events until it finishes
 ``fetch``         fetch and print a finished job's report
 ``cancel``        cancel a queued or running job
+``trace``         render a journal's trace spans as a timeline
 ``report``        mapping report of a model (ops per crossbar, reuse)
 ``vectors``       generate an annotated fault-vector file for a model
 ``inspect``       print the contents of a fault-vector file
@@ -63,7 +64,8 @@ def _event_renderer(show_cells: bool, stream=None):
     """
     from .api import (CellDone, CheckpointDone, ExecutorDegraded,
                       JobQuarantined, JobRetried, JobStateChanged,
-                      RunFinished, RunStarted, RunWarning, WorkerLost)
+                      RunFinished, RunStarted, RunWarning,
+                      TelemetrySnapshot, WorkerLost)
     out = stream or sys.stderr
 
     def render(event):
@@ -101,6 +103,10 @@ def _event_renderer(show_cells: bool, stream=None):
             if event.error:
                 line += f" ({event.error})"
             print(line, file=out)
+        elif isinstance(event, TelemetrySnapshot) and show_cells:
+            phases = " ".join(f"{name}={seconds:.2f}s" for name, seconds
+                              in sorted(event.phases.items()))
+            print(f"telemetry: {phases}", file=out)
     return render
 
 
@@ -319,6 +325,14 @@ def _cmd_fetch(args) -> int:
 def _cmd_cancel(args) -> int:
     record = _service_client(args).cancel(args.job)
     print(f"job {record.job_id}: {record.state.value}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Render the trace spans of a campaign journal as a timeline."""
+    from .obs.trace import load_trace, render_timeline
+    spans = load_trace(args.journal)
+    print(render_timeline(spans), end="")
     return 0
 
 
@@ -670,6 +684,13 @@ def build_parser() -> argparse.ArgumentParser:
         "cancel", help="cancel a queued or running job")
     _add_service_arguments(p_cancel)
     p_cancel.set_defaults(func=_cmd_cancel)
+
+    p_trace = sub.add_parser(
+        "trace", help="render a campaign journal's trace spans as a "
+                      "span-tree timeline with per-phase totals")
+    p_trace.add_argument("journal", metavar="JOURNAL",
+                         help="journal JSONL written by an observed run")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_list = sub.add_parser("list", help="the experiment registry")
     p_list.add_argument("--names", action="store_true",

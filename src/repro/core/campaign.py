@@ -23,15 +23,18 @@ it died and reproduces the uninterrupted result exactly
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs as _obs
 from ..nn.model import Sequential
 from .engine import (CampaignEvaluator, build_jobs,
                      fingerprint_data_and_weights, get_executor)
 from .faults import FaultSpec
 from .journal import CampaignJournal
+from .resilience import new_stats
 
 __all__ = ["SweepResult", "FaultCampaign"]
 
@@ -123,6 +126,14 @@ class FaultCampaign:
         per-job timeouts, poison-job quarantine, and the executor
         degradation ladder.  ``None`` (default) keeps the legacy
         behavior: any job failure aborts the run.
+    obs:
+        A :class:`repro.obs.Observability` collecting trace spans
+        (``campaign → plan → dispatch → evaluate → reduce``) and
+        metrics for every :meth:`run`.  ``None`` (default) falls back
+        to the ambient instance (:func:`repro.obs.current`) — the api
+        layer activates one around each registry experiment — and runs
+        fully uninstrumented when there is none.  Telemetry never feeds
+        computation: results are bit-identical with or without it.
     """
 
     def __init__(self, model: Sequential, x_test: np.ndarray, y_test: np.ndarray,
@@ -130,7 +141,8 @@ class FaultCampaign:
                  continue_time_across_layers: bool = True,
                  executor: str | object = "serial", n_jobs: int | None = None,
                  backend: str = "float", cache_bytes: int | None = None,
-                 policy=None):
+                 policy=None, obs=None):
+        self.obs = obs if obs is not None else _obs.current()
         self.model = model
         self.rows = rows
         self.cols = cols
@@ -263,54 +275,146 @@ class FaultCampaign:
                     accuracies[i, j] = accuracy
                     resumed += 1
                     skip.add((i, j))
-        # journaled cells are excluded before plan generation: resuming a
-        # nearly finished grid does not regenerate its fault masks
-        jobs = build_jobs(self.model, spec_factory, xs, repeats, seed,
-                          self.rows, self.cols, layers, skip=skip)
-        done = resumed
-        saved_on_event = getattr(self._executor, "on_event", None)
-        if journal_obj is not None and hasattr(self._executor, "on_event"):
-            # tee resilience events into the journal's audit trail
-            # without detaching whoever else is listening (the api layer)
-            def _tap(record, _prior=saved_on_event):
-                journal_obj.note(record)
-                if _prior is not None:
-                    _prior(record)
-            self._executor.on_event = _tap
+        obs = self.obs
+        cache_before = (self._evaluator.input_cache_stats()
+                        if obs is not None else None)
+        executor_name = getattr(self._executor, "name",
+                                type(self._executor).__name__)
         try:
-            for i, j, accuracy in self._iter_results(jobs):
-                accuracies[i, j] = accuracy
-                done += 1
-                if journal_obj is not None and accuracy == accuracy:
-                    # quarantined (NaN) cells stay un-journaled so a
-                    # resumed run re-attempts them
-                    journal_obj.record(i, j, xs[i], accuracy)
-                if progress is not None:
-                    progress(done, total, (i, j, accuracy))
+            with self._span("campaign", label=label, cells=total,
+                            executor=executor_name, backend=self.backend), \
+                    ExitStack() as tracing:
+                if obs is not None and journal_obj is not None:
+                    # persist spans closing during this run as
+                    # {"kind": "trace"} audit lines next to the cells
+                    tracing.enter_context(
+                        obs.tracer.sink_to(journal_obj.trace))
+                # journaled cells are excluded before plan generation:
+                # resuming a nearly finished grid does not regenerate
+                # its fault masks
+                with self._span("plan"):
+                    jobs = build_jobs(self.model, spec_factory, xs,
+                                      repeats, seed, self.rows, self.cols,
+                                      layers, skip=skip)
+                done = resumed
+                saved_on_event = getattr(self._executor, "on_event", None)
+                if journal_obj is not None \
+                        and hasattr(self._executor, "on_event"):
+                    # tee resilience events into the journal's audit
+                    # trail without detaching whoever else is listening
+                    # (the api layer)
+                    def _tap(record, _prior=saved_on_event):
+                        journal_obj.note(record)
+                        if _prior is not None:
+                            _prior(record)
+                    self._executor.on_event = _tap
+                saved_obs = getattr(self._executor, "obs", None)
+                if hasattr(self._executor, "obs"):
+                    self._executor.obs = obs
+                try:
+                    with self._span("dispatch", jobs=len(jobs)):
+                        for i, j, accuracy in self._iter_results(jobs):
+                            accuracies[i, j] = accuracy
+                            done += 1
+                            if journal_obj is not None \
+                                    and accuracy == accuracy:
+                                # quarantined (NaN) cells stay
+                                # un-journaled so a resumed run
+                                # re-attempts them
+                                journal_obj.record(i, j, xs[i], accuracy)
+                            if progress is not None:
+                                progress(done, total, (i, j, accuracy))
+                finally:
+                    if hasattr(self._executor, "on_event"):
+                        self._executor.on_event = saved_on_event
+                    if hasattr(self._executor, "obs"):
+                        self._executor.obs = saved_obs
+                with self._span("reduce"):
+                    meta = {"rows": self.rows, "cols": self.cols,
+                            "repeats": repeats, "layers": layers,
+                            "executor": executor_name,
+                            "backend": self.backend,
+                            "input_cache":
+                                self._evaluator.input_cache_stats()}
+                    prefix_plane = getattr(self._executor,
+                                           "prefix_plane", None)
+                    if prefix_plane is not None:
+                        meta["prefix_plane"] = prefix_plane
+                    # always attach the counters block, zeroed on clean
+                    # unsupervised runs — consumers (and journaled
+                    # resumes) can rely on its presence
+                    resilience = getattr(self._executor, "resilience",
+                                         None)
+                    if resilience is None:
+                        resilience = new_stats()
+                    meta["resilience"] = {
+                        key: (list(value) if isinstance(value, list)
+                              else value)
+                        for key, value in resilience.items()}
+                    if journal is not None:
+                        meta["journal"] = str(journal)
+                        meta["resumed_cells"] = resumed
+                    if obs is not None:
+                        self._fold_metrics(meta, cache_before,
+                                           done - resumed, resumed)
+                    result = SweepResult(
+                        label=label, xs=xs, accuracies=accuracies,
+                        baseline=self.baseline_accuracy(), meta=meta)
         finally:
             if journal_obj is not None:
                 journal_obj.close()
-                if hasattr(self._executor, "on_event"):
-                    self._executor.on_event = saved_on_event
-        meta = {"rows": self.rows, "cols": self.cols,
-                "repeats": repeats, "layers": layers,
-                "executor": getattr(self._executor, "name",
-                                    type(self._executor).__name__),
-                "backend": self.backend,
-                "input_cache": self._evaluator.input_cache_stats()}
-        prefix_plane = getattr(self._executor, "prefix_plane", None)
-        if prefix_plane is not None:
-            meta["prefix_plane"] = prefix_plane
-        resilience = getattr(self._executor, "resilience", None)
-        if resilience and any(resilience.values()):
-            meta["resilience"] = {key: (list(value)
-                                        if isinstance(value, list) else value)
-                                  for key, value in resilience.items()}
-        if journal is not None:
-            meta["journal"] = str(journal)
-            meta["resumed_cells"] = resumed
-        return SweepResult(label=label, xs=xs, accuracies=accuracies,
-                           baseline=self.baseline_accuracy(), meta=meta)
+        return result
+
+    def _span(self, name: str, **attrs):
+        """A tracer span when this campaign is observed, else a no-op."""
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.tracer.span(name, **attrs)
+
+    def _fold_metrics(self, meta: dict, cache_before: dict,
+                      evaluated: int, resumed: int) -> None:
+        """Fold this run's meta into the campaign's metrics registry.
+
+        Counters take per-run deltas (the evaluator's cache stats are
+        cumulative across a campaign's runs); gauges take the latest
+        value.  The legacy ``meta`` dicts stay attached unchanged — the
+        registry is the canonical store, ``meta`` the compatibility
+        view.
+        """
+        from .resilience import stats_to_metrics
+        registry = self.obs.metrics
+        registry.counter(
+            "repro_cells_evaluated_total",
+            "grid cells freshly evaluated").inc(max(0, evaluated))
+        registry.counter(
+            "repro_cells_resumed_total",
+            "grid cells replayed from a journal").inc(max(0, resumed))
+        cache = meta["input_cache"]
+        hits = max(0, cache["hits"] - cache_before["hits"])
+        misses = max(0, cache["misses"] - cache_before["misses"])
+        registry.counter("repro_input_cache_hits_total",
+                         "input-representation cache hits").inc(hits)
+        registry.counter("repro_input_cache_misses_total",
+                         "input-representation cache misses").inc(misses)
+        lookups = hits + misses
+        registry.gauge(
+            "repro_input_cache_hit_rate",
+            "input-representation cache hit rate, last run").set(
+                hits / lookups if lookups else 0.0)
+        registry.gauge("repro_input_cache_bytes",
+                       "bytes pinned by the input-representation "
+                       "cache").set(cache.get("bytes", 0))
+        plane = meta.get("prefix_plane")
+        if plane:
+            registry.gauge(
+                "repro_prefix_plane_batches",
+                "shared-memory prefix activation planes "
+                "published").set(plane.get("batches", 0))
+            registry.counter(
+                "repro_prefix_plane_adoptions_total",
+                "runs that reused already-published shared "
+                "planes").inc(1 if plane.get("reused") else 0)
+        stats_to_metrics(meta["resilience"], registry)
 
     def _fingerprint(self) -> str:
         """Digest of the evaluator's data snapshot and the model weights

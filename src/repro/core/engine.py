@@ -722,6 +722,24 @@ def _task_key(task) -> tuple[int, int]:
     return job.point_index, job.repeat_index
 
 
+def _traced_evaluate(call, obs):
+    """Wrap a per-task evaluation callable in an ``evaluate`` span.
+
+    Only the in-process paths (serial executor, tiny-grid fallback,
+    bottom ladder rung) are traced per cell — pool workers run in other
+    processes and stay untraced; the parent's ``dispatch`` span covers
+    them in aggregate.  Returns ``call`` unchanged when uninstrumented.
+    """
+    if obs is None:
+        return call
+
+    def traced(task, _call=call, _tracer=obs.tracer):
+        point, repeat = _task_key(task)
+        with _tracer.span("evaluate", point=point, repeat=repeat):
+            return _call(task)
+    return traced
+
+
 class SerialExecutor:
     """In-process job loop; shares the caller's evaluator and caches.
 
@@ -739,6 +757,9 @@ class SerialExecutor:
         self.on_event: Callable | None = None
         #: per-run resilience summary (see resilience.new_stats)
         self.resilience: dict = new_stats()
+        #: the observing run's repro.obs.Observability (campaigns set
+        #: this for the duration of run(); None = uninstrumented)
+        self.obs = None
 
     def _emit(self, record) -> None:
         note_stats(self.resilience, record)
@@ -756,8 +777,9 @@ class SerialExecutor:
         in job order (pre-generated plans make order irrelevant to the
         values — only to the streaming sequence)."""
         self.resilience = new_stats()
+        call = _traced_evaluate(evaluator.run_job, self.obs)
         for job, (kind, value) in supervised_serial(
-                jobs, evaluator.run_job, self.policy, key=_task_key,
+                jobs, call, self.policy, key=_task_key,
                 on_event=self._emit):
             if kind == "ok":
                 yield value
@@ -943,6 +965,11 @@ class MultiprocessingExecutor:
         self.on_event: Callable | None = None
         #: per-run resilience summary (see resilience.new_stats)
         self.resilience: dict = new_stats()
+        #: the observing run's repro.obs.Observability (campaigns set
+        #: this for the duration of run(); None = uninstrumented).
+        #: Pool workers never see it — only the parent-side serial
+        #: paths trace per-cell evaluate spans.
+        self.obs = None
 
     def _notify(self, message: str) -> None:
         if self.on_warning is not None:
@@ -1099,6 +1126,7 @@ class MultiprocessingExecutor:
                 return job.point_index, job.repeat_index, correct, total
         else:
             call = evaluator.run_job
+        call = _traced_evaluate(call, self.obs)
         for task, outcome in supervised_serial(tasks, call, self.policy,
                                                key=_task_key,
                                                on_event=self._emit):

@@ -26,8 +26,10 @@ append-only writes and is refused outright.
 Besides result cells, the journal records resilience events (worker
 losses, retries, quarantined cells, executor degradations) as
 ``{"kind": "event", ...}`` note lines — an audit trail of what the
-supervision layer did to complete the run.  Event lines are ignored when
-resuming.
+supervision layer did to complete the run.  When the campaign is
+observed (:mod:`repro.obs`), closed trace spans are likewise persisted
+as ``{"kind": "trace", ...}`` lines (rendered back by ``repro trace``).
+Event and trace lines are ignored when resuming.
 """
 
 from __future__ import annotations
@@ -192,3 +194,11 @@ class CampaignJournal:
         self._write_line({"kind": "event",
                           "event": type(record).__name__,
                           **dataclasses.asdict(record)})
+
+    def trace(self, record) -> None:
+        """Append one closed trace span (a
+        :class:`repro.obs.spans.SpanRecord`) as an audit line.  Like
+        event lines, trace lines are skipped when resuming; ``repro
+        trace`` renders them back into a span timeline."""
+        from ..obs.trace import span_payload
+        self._write_line({"kind": "trace", **span_payload(record)})

@@ -60,6 +60,7 @@ __all__ = [
     "supervised_serial",
     "new_stats",
     "note_stats",
+    "stats_to_metrics",
 ]
 
 
@@ -187,7 +188,11 @@ class SupervisorGaveUp(RuntimeError):
 
 def new_stats() -> dict[str, Any]:
     """A fresh per-run resilience summary (mutated by :func:`note_stats`,
-    attached to ``SweepResult.meta["resilience"]`` when non-trivial)."""
+    always attached to ``SweepResult.meta["resilience"]`` — zeroed on a
+    clean run).  This dict is the backward-compatible *view*; the
+    canonical counter store is the run's
+    :class:`repro.obs.metrics.MetricsRegistry` (see
+    :func:`stats_to_metrics`)."""
     return {"retries": 0, "timeouts": 0, "quarantined": [],
             "workers_lost": 0, "degraded": []}
 
@@ -206,6 +211,30 @@ def note_stats(stats: dict[str, Any], record: object) -> None:
         stats["workers_lost"] += 1
     elif isinstance(record, ExecutorDegraded):
         stats["degraded"].append(f"{record.from_mode}->{record.to_mode}")
+
+
+def stats_to_metrics(stats: dict[str, Any], registry: Any) -> None:
+    """Fold one run's :func:`new_stats` summary into a
+    :class:`repro.obs.metrics.MetricsRegistry` — the single mapping
+    from the legacy dict shape to the canonical telemetry counters
+    (``repro_jobs_retried_total`` and friends).  Call once per run with
+    the finished summary; the dict itself stays attached to
+    ``SweepResult.meta["resilience"]`` as the compatibility view."""
+    registry.counter("repro_jobs_retried_total",
+                     "job attempts that failed and were "
+                     "re-scheduled").inc(int(stats.get("retries", 0)))
+    registry.counter("repro_job_timeouts_total",
+                     "retries caused by per-job wall-clock "
+                     "timeouts").inc(int(stats.get("timeouts", 0)))
+    registry.counter("repro_jobs_quarantined_total",
+                     "poison jobs set aside after exhausting their "
+                     "attempts").inc(len(stats.get("quarantined", ())))
+    registry.counter("repro_workers_lost_total",
+                     "pool workers that died (or wedged) and forced a "
+                     "rebuild").inc(int(stats.get("workers_lost", 0)))
+    registry.counter("repro_executor_degraded_total",
+                     "rungs the executor ladder fell down "
+                     "mid-run").inc(len(stats.get("degraded", ())))
 
 
 def _default_key(task: object) -> tuple[int, int]:

@@ -32,11 +32,15 @@ __all__ = [
     "UnboundedQueue",
 ]
 
-#: the two protocol modules whose dataclasses are wire/event records
+#: the protocol modules whose dataclasses are wire/event records
 EVENTS_MODULE = "src/repro/api/events.py"
 RESILIENCE_MODULE = "src/repro/core/resilience.py"
 CLI_MODULE = "src/repro/cli.py"
 HANDLE_MODULE = "src/repro/api/handle.py"
+#: the telemetry clock — the only other legitimate monotonic reader
+OBS_CLOCK_MODULE = "src/repro/obs/clock.py"
+#: trace spans are protocol records too (journaled, rendered)
+OBS_SPANS_MODULE = "src/repro/obs/spans.py"
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 
@@ -142,21 +146,24 @@ class NoWallClock:
     """Deterministic paths must not read the wall clock.
 
     ``time.time``/``datetime.now`` values leak into results and make
-    reruns differ; ``time.monotonic`` is the supervision layer's
-    legitimate tool (timeouts, stall watchdogs) and is allow-listed in
-    ``core/resilience.py`` only.
+    reruns differ; ``time.monotonic`` is allow-listed in exactly two
+    places — the supervision layer (timeouts, stall watchdogs in
+    ``core/resilience.py``) and the telemetry clock
+    (``obs/clock.py``'s ``SystemClock``, behind the swappable
+    :class:`~repro.obs.clock.Clock` abstraction so instrumented runs
+    stay replayable under a ``FakeClock``).
     """
 
     rule_id = "no-wall-clock"
     summary = ("ban time.time/datetime.now everywhere; time.monotonic "
-               "outside core/resilience.py")
+               "outside core/resilience.py and obs/clock.py")
     _banned = frozenset({
         "time.time", "time.time_ns",
         "datetime.datetime.now", "datetime.datetime.utcnow",
         "datetime.datetime.today", "datetime.date.today",
     })
     _monotonic = frozenset({"time.monotonic", "time.monotonic_ns"})
-    monotonic_paths = frozenset({RESILIENCE_MODULE})
+    monotonic_paths = frozenset({RESILIENCE_MODULE, OBS_CLOCK_MODULE})
 
     def check(self, project: Project) -> Iterable[Finding]:
         for module in project.modules:
@@ -175,8 +182,9 @@ class NoWallClock:
                     yield from _finding(
                         module, node, self.rule_id,
                         f"{canonical}() is reserved for the supervision "
-                        "layer (core/resilience.py); deterministic code "
-                        "must not branch on elapsed time")
+                        "layer (core/resilience.py) and the telemetry "
+                        "clock (obs/clock.py); deterministic code must "
+                        "not branch on elapsed time")
 
 
 class ShmLifecycle:
@@ -305,16 +313,18 @@ class NoSilentExcept:
 class FrozenRecords:
     """Event/record dataclasses must be immutable.
 
-    ``api/events.py`` and ``core/resilience.py`` define the typed
-    records consumers dispatch on; a mutable record could change under a
-    subscriber mid-stream.  Every dataclass in those two modules must be
-    declared ``frozen=True``.
+    ``api/events.py``, ``core/resilience.py``, and ``obs/spans.py``
+    define the typed records consumers dispatch on; a mutable record
+    could change under a subscriber mid-stream (or after a trace sink
+    journaled it).  Every dataclass in those modules must be declared
+    ``frozen=True``.
     """
 
     rule_id = "frozen-records"
-    summary = ("dataclasses in api/events.py and core/resilience.py "
-               "must be frozen=True")
-    record_modules = frozenset({EVENTS_MODULE, RESILIENCE_MODULE})
+    summary = ("dataclasses in api/events.py, core/resilience.py, and "
+               "obs/spans.py must be frozen=True")
+    record_modules = frozenset({EVENTS_MODULE, RESILIENCE_MODULE,
+                                OBS_SPANS_MODULE})
 
     def check(self, project: Project) -> Iterable[Finding]:
         for module in project.modules:

@@ -1,0 +1,85 @@
+"""``repro.obs`` — tracing, metrics, and profiling for the whole stack.
+
+One :class:`Observability` object bundles the three telemetry legs:
+
+* a :class:`~repro.obs.clock.Clock` (monotonic; swap in a
+  :class:`~repro.obs.clock.FakeClock` for deterministic traces),
+* a :class:`~repro.obs.spans.Tracer` building the hierarchical span
+  tree (``campaign → plan → dispatch → evaluate → reduce`` in the
+  engine, ``service → job → run`` in the service),
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters / gauges /
+  histograms.
+
+Instrumentation is **opt-out at zero cost**: every instrumented code
+path accepts ``obs=None`` and skips all bookkeeping when no
+observability is active.  It is also **ambient**: the API layer
+activates an :class:`Observability` around each experiment run
+(:func:`activated` / :func:`current`), and :class:`FaultCampaign`
+falls back to the ambient instance when none is passed explicitly —
+so every registry experiment is traced without threading an ``obs``
+argument through a dozen driver signatures.
+
+Determinism contract: telemetry *describes* a run and never feeds
+computation.  Results are bit-identical with ``obs=None``, a real
+clock, or a fake one — the FakeClock tests pin this.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import ContextManager, Optional
+
+from .clock import Clock, FakeClock, SystemClock
+from .export import render_prometheus
+from .metrics import MetricsRegistry, get_registry, reset_registry
+from .spans import SpanRecord, Tracer
+
+__all__ = ["Clock", "FakeClock", "MetricsRegistry", "Observability",
+           "SpanRecord", "SystemClock", "Tracer", "activated",
+           "current", "get_registry", "render_prometheus",
+           "reset_registry"]
+
+
+class Observability:
+    """Clock + tracer + metrics for one observed run."""
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.tracer = Tracer(self.clock)
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry())
+
+    def span(self, name: str, **attrs: object) -> ContextManager[None]:
+        return self.tracer.span(name, **attrs)
+
+    def telemetry(self) -> dict[str, dict[str, float]]:
+        """The run summary that lands in ``RunReport.meta["telemetry"]``
+        (and on the wire as ``TelemetrySnapshot``)."""
+        snapshot = self.metrics.snapshot()
+        return {"phases": self.tracer.phase_totals(),
+                "counters": snapshot["counters"],
+                "gauges": snapshot["gauges"]}
+
+
+_ACTIVE: ContextVar[Optional[Observability]] = ContextVar(
+    "repro_obs_active", default=None)
+
+
+def current() -> Optional[Observability]:
+    """The ambient :class:`Observability`, or ``None`` outside any
+    :func:`activated` block."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activated(obs: Optional[Observability]) -> Iterator[None]:
+    """Make ``obs`` the ambient observability for the enclosed block
+    (``None`` deactivates — useful to shield uninstrumented baselines)."""
+    token = _ACTIVE.set(obs)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,72 @@
+"""The clock authority for every telemetry timestamp in the repo.
+
+Two invariants make instrumentation safe in a bit-identity codebase:
+
+* **No wall clock.**  ``time.time`` / ``datetime.now`` are banned
+  everywhere by the ``no-wall-clock`` lint rule; ``time.monotonic`` is
+  legal only here and in the resilience supervisor.  Every span or
+  latency measurement goes through a :class:`Clock` so the *one*
+  ``time.monotonic`` call site below is the single thing the lint rule
+  has to trust.
+* **Determinism on demand.**  :class:`FakeClock` is a drop-in
+  replacement whose readings are a pure function of how often it was
+  read, so an instrumented run under a ``FakeClock`` produces
+  byte-identical trace records on every execution — the property the
+  FakeClock determinism tests pin.
+
+Timing never feeds computation: clocks exist to *describe* a run
+(spans, histograms), and results must be identical whether the clock is
+real, fake, or absent.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "FakeClock", "SystemClock"]
+
+
+class Clock:
+    """A monotonic time source: ``now()`` in (fractional) seconds.
+
+    The zero point is arbitrary; only differences are meaningful.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real monotonic clock.
+
+    This is the sole place outside ``core/resilience.py`` where
+    ``time.monotonic`` is legal (``no-wall-clock`` lint rule).
+    """
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock(Clock):
+    """A deterministic clock for tests and replayable traces.
+
+    Every ``now()`` returns the current reading, then advances it by
+    ``tick`` — so span durations become a pure function of how many
+    clock reads happened between start and end, independent of the
+    machine.  Use :meth:`advance` to model explicit passage of time.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward without consuming a tick."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds

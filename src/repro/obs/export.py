@@ -1,0 +1,66 @@
+"""Prometheus text exposition (format 0.0.4), stdlib only.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` into the plain
+``text/plain; version=0.0.4`` format every Prometheus-compatible
+scraper understands: ``# HELP``/``# TYPE`` headers per family, one
+``name{labels} value`` line per series, and the
+``_bucket``/``_sum``/``_count`` triplet for histograms.  The service
+serves this at ``GET /v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus"]
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels(pairs: tuple[tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape(value)}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (trailing newline)."""
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for name, labels, metric in registry.collect():
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = registry.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {name} {_escape(help_text)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{name}{_labels(labels)} "
+                         f"{_number(metric.value)}")
+        elif isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                bucket = labels + (("le", _number(bound)),)
+                lines.append(f"{name}_bucket{_labels(bucket)} "
+                             f"{cumulative}")
+            bucket = labels + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_labels(bucket)} {metric.count}")
+            lines.append(f"{name}_sum{_labels(labels)} "
+                         f"{_number(metric.total)}")
+            lines.append(f"{name}_count{_labels(labels)} {metric.count}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,234 @@
+"""Process-local metrics: counters, gauges, histograms, one registry.
+
+The registry replaces the scattered ad-hoc counter plumbing
+(``SweepResult.meta["resilience"]``, cache-stat dicts, bench-script
+tallies) as the canonical telemetry store.  The legacy ``meta`` dict
+shapes remain as a compatibility view — the engine folds its per-run
+registry into them so existing consumers keep working unchanged.
+
+Two registries matter in practice:
+
+* a **per-run** registry inside each
+  :class:`~repro.obs.Observability`, summarised into
+  ``RunReport.meta["telemetry"]``;
+* the **process** registry (:func:`get_registry`) the service scrapes
+  at ``GET /v1/metrics`` — job-queue gauges and lifecycle counters
+  land there directly, and each finished run's telemetry is folded in
+  so campaign-level counters (cache hits, retries) survive their run.
+
+Everything is ``threading.Lock``-guarded: the engine thread, service
+worker threads, and the asyncio event loop all touch the process
+registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Optional, Union
+
+__all__ = ["Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram",
+           "MetricsRegistry", "get_registry", "reset_registry"]
+
+#: latency buckets (seconds) — spans sub-ms cache hits to multi-minute
+#: campaign jobs
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("histogram buckets must be sorted and "
+                             "non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named, labelled family of metrics with a thread-safe lookup.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call fixes the metric's type and help text, later calls return the
+    same instance (a type clash raises).  Labels follow the Prometheus
+    model — each distinct label set is its own time series under the
+    family name.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, LabelKey], Metric] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    # -- registration ----------------------------------------------------
+    def counter(self, name: str, help: str = "",
+                **labels: str) -> Counter:
+        metric = self._get(name, "counter", help, labels, None)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        metric = self._get(name, "gauge", help, labels, None)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        metric = self._get(name, "histogram", help, labels, buckets)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def _get(self, name: str, kind: str, help: str, labels: dict[str, str],
+             buckets: Optional[tuple[float, ...]]) -> Metric:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is not None and known != kind:
+                raise ValueError(f"metric {name!r} already registered "
+                                 f"as a {known}, not a {kind}")
+            metric = self._series.get(key)
+            if metric is None:
+                if kind == "counter":
+                    metric = Counter()
+                elif kind == "gauge":
+                    metric = Gauge()
+                else:
+                    metric = Histogram(buckets if buckets is not None
+                                       else DEFAULT_BUCKETS)
+                self._series[key] = metric
+                self._kinds[name] = kind
+                if help and name not in self._help:
+                    self._help[name] = help
+            return metric
+
+    # -- read side -------------------------------------------------------
+    def collect(self) -> list[tuple[str, LabelKey, Metric]]:
+        """Every series, sorted by (name, labels) for stable output."""
+        with self._lock:
+            return sorted(((name, labels, metric) for (name, labels), metric
+                           in self._series.items()),
+                          key=lambda item: (item[0], item[1]))
+
+    def help_for(self, name: str) -> str:
+        with self._lock:
+            return self._help.get(name, "")
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """A JSON-safe summary: ``{"counters": {...}, "gauges": {...}}``.
+
+        Histograms are summarised as ``<name>_sum``/``<name>_count``
+        gauge pairs; labelled series render as ``name{k=v,...}`` keys.
+        """
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        for name, labels, metric in self.collect():
+            series = _series_key(name, labels)
+            if isinstance(metric, Counter):
+                counters[series] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[series] = metric.value
+            else:
+                gauges[f"{series}_sum"] = metric.total
+                gauges[f"{series}_count"] = float(metric.count)
+        return {"counters": counters, "gauges": gauges}
+
+    def fold_snapshot(self, snapshot: dict[str, dict[str, float]]) -> None:
+        """Merge a :meth:`snapshot` from another registry into this one:
+        counters add, gauges overwrite (last writer wins)."""
+        for series, value in snapshot.get("counters", {}).items():
+            name, labels = _parse_series_key(series)
+            self.counter(name, **labels).inc(value)
+        for series, value in snapshot.get("gauges", {}).items():
+            name, labels = _parse_series_key(series)
+            self.gauge(name, **labels).set(value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+            self._kinds.clear()
+            self._help.clear()
+
+
+def _series_key(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _parse_series_key(series: str) -> tuple[str, dict[str, str]]:
+    if not series.endswith("}") or "{" not in series:
+        return series, {}
+    name, _, inner = series.partition("{")
+    labels: dict[str, str] = {}
+    for pair in inner[:-1].split(","):
+        key, _, value = pair.partition("=")
+        labels[key] = value
+    return name, labels
+
+
+#: the process registry the service exposes at ``GET /v1/metrics``
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (one per interpreter)."""
+    return _GLOBAL
+
+
+def reset_registry() -> None:
+    """Empty the process registry in place (test isolation seam —
+    existing references stay valid)."""
+    _GLOBAL.clear()

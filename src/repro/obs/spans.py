@@ -1,0 +1,123 @@
+"""Hierarchical trace spans: typed frozen records plus the tracer.
+
+The span model mirrors the two call trees in the repo:
+
+* engine: ``campaign → plan → dispatch → evaluate → reduce``
+* service: ``service → job → run`` (the ``run`` span encloses the
+  engine tree of the job's campaign)
+
+A :class:`SpanRecord` is pure frozen data (the frozen-records lint gate
+covers this module); the :class:`Tracer` assigns ids from a plain
+counter and tracks nesting with an explicit stack, so span identity is
+deterministic — under a :class:`~repro.obs.clock.FakeClock` the whole
+trace is byte-reproducible.
+
+Records can be teed into a ``sink`` as they close; the campaign engine
+points the sink at :meth:`repro.core.journal.CampaignJournal.trace`
+while a journal is open, which is how ``{"kind": "trace"}`` audit lines
+end up interleaved with the journal's result cells.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .clock import Clock, SystemClock
+
+__all__ = ["SpanRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: a named interval in a trace tree.
+
+    ``span_id``/``parent_id`` encode the hierarchy (``parent_id`` is
+    ``None`` for roots); ``start`` and ``duration`` are clock seconds
+    (arbitrary zero point — only differences matter); ``attrs`` carries
+    small JSON-safe annotations (cell coordinates, executor name, …).
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    duration: float
+    attrs: dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Builds the span tree and retains every closed record.
+
+    One tracer per observed run.  Spans nest via :meth:`span` (a
+    context manager); the innermost open span on the calling thread's
+    stack becomes the parent of the next one opened.  Closed records
+    append to :attr:`spans` and are forwarded to :attr:`sink` when one
+    is attached (see :meth:`sink_to`).
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.spans: list[SpanRecord] = []
+        #: called with each record as its span closes (journal tee)
+        self.sink: Optional[Callable[[SpanRecord], None]] = None
+        self._stack: list[int] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        """Open a span named ``name``; it closes (and is recorded) when
+        the ``with`` block exits, exception or not."""
+        with self._lock:
+            span_id = next(self._ids)
+            parent_id = self._stack[-1] if self._stack else None
+            self._stack.append(span_id)
+        start = self.clock.now()
+        try:
+            yield
+        finally:
+            duration = self.clock.now() - start
+            record = SpanRecord(name=name, span_id=span_id,
+                                parent_id=parent_id, start=start,
+                                duration=duration, attrs=dict(attrs))
+            with self._lock:
+                if self._stack and self._stack[-1] == span_id:
+                    self._stack.pop()
+                self.spans.append(record)
+                sink = self.sink
+            if sink is not None:
+                sink(record)
+
+    @contextmanager
+    def sink_to(self,
+                sink: Callable[[SpanRecord], None]) -> Iterator[None]:
+        """Tee records closing inside the block into ``sink`` (chained
+        in front of any sink already attached)."""
+        with self._lock:
+            prior = self.sink
+
+            def _tee(record: SpanRecord) -> None:
+                sink(record)
+                if prior is not None:
+                    prior(record)
+
+            self.sink = _tee
+        try:
+            yield
+        finally:
+            with self._lock:
+                self.sink = prior
+
+    def phase_totals(self) -> dict[str, float]:
+        """Total seconds spent per span name, over all closed spans."""
+        totals: dict[str, float] = {}
+        with self._lock:
+            for record in self.spans:
+                totals[record.name] = (totals.get(record.name, 0.0)
+                                       + record.duration)
+        return totals

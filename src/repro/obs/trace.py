@@ -1,0 +1,160 @@
+"""``repro trace``: read trace spans back out of a campaign journal.
+
+Campaign journals interleave ``{"kind": "trace"}`` audit lines with
+their result cells (see :mod:`repro.core.journal`).  This module loads
+them back into :class:`~repro.obs.spans.SpanRecord` objects and renders
+the span tree as a text timeline with per-phase totals — the CLI
+subcommand is a thin wrapper over :func:`load_trace` +
+:func:`render_timeline`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .spans import SpanRecord
+
+__all__ = ["load_trace", "render_timeline", "span_payload"]
+
+#: children beyond this count collapse into one aggregate line per name
+_FOLD_THRESHOLD = 4
+_BAR_WIDTH = 24
+
+
+def span_payload(record: SpanRecord) -> dict[str, object]:
+    """The journal line body for one span (sans the ``kind`` tag)."""
+    return {"span": record.name, "id": record.span_id,
+            "parent": record.parent_id, "start": record.start,
+            "duration": record.duration, "attrs": dict(record.attrs)}
+
+
+def _span_from_payload(payload: dict[str, object]) -> SpanRecord:
+    parent = payload.get("parent")
+    attrs = payload.get("attrs")
+    return SpanRecord(
+        name=str(payload.get("span", "")),
+        span_id=int(payload.get("id", 0)),  # type: ignore[call-overload]
+        parent_id=None if parent is None else int(parent),  # type: ignore[call-overload]
+        start=float(payload.get("start", 0.0)),  # type: ignore[arg-type]
+        duration=float(payload.get("duration", 0.0)),  # type: ignore[arg-type]
+        attrs=dict(attrs) if isinstance(attrs, dict) else {})
+
+
+def load_trace(path: Union[str, Path]) -> list[SpanRecord]:
+    """Trace spans from a journal, in the order they were written.
+
+    Raises ``ValueError`` when ``path`` is not a campaign journal
+    (first line must be the JSON header object).  A torn trailing line
+    — the SIGKILL signature — is tolerated, exactly as the resume
+    reader tolerates it.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        raise ValueError(f"cannot read journal {path}: {error}") from error
+    if not lines:
+        raise ValueError(f"{path} is empty — not a campaign journal")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        header = None
+    if not isinstance(header, dict):
+        raise ValueError(f"{path} is not a campaign journal "
+                         "(no JSON header line)")
+    spans: list[SpanRecord] = []
+    for position, line in enumerate(lines[1:], start=2):
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(lines):
+                break  # torn tail from a killed writer
+            raise ValueError(f"{path}:{position}: undecodable journal "
+                             "line") from None
+        if isinstance(payload, dict) and payload.get("kind") == "trace":
+            spans.append(_span_from_payload(payload))
+    return spans
+
+
+def _bar(record: SpanRecord, origin: float, total: float) -> str:
+    if total <= 0:
+        return " " * _BAR_WIDTH
+    lead = int(_BAR_WIDTH * (record.start - origin) / total)
+    width = max(1, round(_BAR_WIDTH * record.duration / total))
+    lead = min(lead, _BAR_WIDTH - 1)
+    width = min(width, _BAR_WIDTH - lead)
+    return " " * lead + "#" * width + " " * (_BAR_WIDTH - lead - width)
+
+
+def _attr_text(attrs: dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    inner = " ".join(f"{key}={value}" for key, value in attrs.items())
+    return f"  [{inner}]"
+
+
+def render_timeline(spans: list[SpanRecord]) -> str:
+    """The span tree as an indented timeline plus per-phase totals.
+
+    Sibling runs of more than a handful of same-named spans (per-cell
+    ``evaluate`` spans, mostly) fold into one aggregate line so the
+    output stays readable on full-protocol journals.
+    """
+    if not spans:
+        return "no trace spans recorded\n"
+    by_parent: dict[Union[int, None], list[SpanRecord]] = {}
+    for record in sorted(spans, key=lambda r: r.span_id):
+        by_parent.setdefault(record.parent_id, []).append(record)
+    roots = by_parent.get(None, [])
+    if not roots:  # orphaned subtree (parent span closed post-journal)
+        known = {record.span_id for record in spans}
+        roots = [record for record in spans
+                 if record.parent_id not in known]
+    origin = min(record.start for record in spans)
+    horizon = max(record.start + record.duration for record in spans)
+    total = horizon - origin
+
+    lines = [f"trace: {len(spans)} spans over {total:.3f}s"]
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        label = "  " * depth + record.name
+        lines.append(f"{label:<28s} {record.duration:>9.3f}s  "
+                     f"|{_bar(record, origin, total)}|"
+                     f"{_attr_text(record.attrs)}")
+        children = by_parent.get(record.span_id, [])
+        groups: dict[str, list[SpanRecord]] = {}
+        for child in children:
+            groups.setdefault(child.name, []).append(child)
+        for name, group in groups.items():
+            if len(group) > _FOLD_THRESHOLD:
+                label = "  " * (depth + 1) + f"{name} x{len(group)}"
+                seconds = sum(child.duration for child in group)
+                lines.append(f"{label:<28s} {seconds:>9.3f}s  "
+                             f"|{' ' * _BAR_WIDTH}|  [folded]")
+            else:
+                for child in group:
+                    walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+
+    totals = sorted(
+        ((name, sum(r.duration for r in group), len(group))
+         for name, group in _by_name(spans).items()),
+        key=lambda item: -item[1])
+    lines.append("")
+    lines.append("per-phase totals:")
+    for name, seconds, count in totals:
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(f"  {name:<12s} {seconds:>9.3f}s  {share:5.1f}%  "
+                     f"({count} span{'s' if count != 1 else ''})")
+    return "\n".join(lines) + "\n"
+
+
+def _by_name(spans: list[SpanRecord]) -> dict[str, list[SpanRecord]]:
+    groups: dict[str, list[SpanRecord]] = {}
+    for record in spans:
+        groups.setdefault(record.name, []).append(record)
+    return groups

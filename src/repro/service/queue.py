@@ -31,6 +31,8 @@ from dataclasses import replace
 from .. import api
 from ..api.events import JobStateChanged
 from ..core.engine import DEFAULT_INPUT_CACHE_BYTES
+from ..obs import get_registry
+from ..obs.clock import SystemClock
 from . import wire
 from .jobs import (TERMINAL, Job, JobCancelled, JobRecord, JobState,
                    new_job_id)
@@ -97,6 +99,11 @@ class JobQueue:
         self.jobs: dict[str, Job] = {}
         self._seq = 1
         self._tasks: list[asyncio.Task] = []
+        #: the process metrics registry scraped at GET /v1/metrics
+        self.metrics = get_registry()
+        self._clock = SystemClock()
+        self.metrics.gauge("repro_workers_total",
+                           "job-queue worker tasks").set(self.workers)
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -119,8 +126,13 @@ class JobQueue:
             self.jobs[record.job_id] = job
             self.budget.adopt(record.job_id, record.client,
                               record.cache_bytes)
+            self.metrics.counter(
+                "repro_jobs_resumed_total",
+                "jobs re-enqueued from the store by a restarted "
+                "server").inc()
             self._publish_state(job)
             await self._queue.put(job)
+            self._note_depth()
         self._seq = 1 + max((job.record.seq for job in self.jobs.values()),
                             default=0)
 
@@ -159,6 +171,9 @@ class JobQueue:
         self._seq += 1
         self.jobs[job_id] = job
         self.store.save_record(record)
+        self.metrics.counter("repro_jobs_submitted_total",
+                             "jobs admitted into the queue").inc()
+        self._note_depth()
         self._publish_state(job)
         return record
 
@@ -176,9 +191,15 @@ class JobQueue:
         return job.record
 
     # -- workers --------------------------------------------------------
+    def _note_depth(self) -> None:
+        self.metrics.gauge("repro_queue_depth",
+                           "jobs waiting in the bounded queue").set(
+                               self._queue.qsize())
+
     async def _worker(self) -> None:
         while True:
             job = await self._queue.get()
+            self._note_depth()
             try:
                 await self._run_job(job)
             finally:
@@ -189,6 +210,14 @@ class JobQueue:
             return
         record = job.record
         job.on_change = self.store.save_record
+        busy = self.metrics.gauge("repro_workers_busy",
+                                  "worker tasks driving a run right now")
+        latency = self.metrics.histogram(
+            "repro_job_latency_seconds",
+            "wall-clock seconds from RUNNING to a terminal state")
+        outcomes = self.metrics  # counters resolved per terminal branch
+        started = self._clock.now()
+        busy.inc()
         try:
             if job.cancel_requested:
                 job.transition(JobState.CANCELLED)
@@ -203,14 +232,22 @@ class JobQueue:
             self.store.save_result(record.job_id, payload)
             job.transition(JobState.DONE)
             self._publish_state(job)
+            outcomes.counter("repro_jobs_done_total",
+                             "jobs that finished successfully").inc()
         except JobCancelled:
             job.transition(JobState.CANCELLED)
             self._publish_state(job)
+            outcomes.counter("repro_jobs_cancelled_total",
+                             "jobs cancelled while running").inc()
         except Exception as error:
             job.transition(JobState.FAILED,
                            error=f"{type(error).__name__}: {error}")
             self._publish_state(job)
+            outcomes.counter("repro_jobs_failed_total",
+                             "jobs that raised while running").inc()
         finally:
+            busy.dec()
+            latency.observe(self._clock.now() - started)
             self.budget.release(record.job_id)
 
     def _execute(self, job: Job, loop: asyncio.AbstractEventLoop) -> dict:
@@ -232,6 +269,14 @@ class JobQueue:
 
         handle.subscribe(relay)
         report = handle.run()
+        # fold the run's private registry into the process one, so the
+        # scrape endpoint aggregates engine metrics (cache hit rate,
+        # retries, ...) across every job this server has driven
+        telemetry = report.meta.get("telemetry")
+        if isinstance(telemetry, dict):
+            self.metrics.fold_snapshot({
+                "counters": telemetry.get("counters", {}),
+                "gauges": telemetry.get("gauges", {})})
         return wire.encode_report(report)
 
     def _publish_state(self, job: Job) -> None:

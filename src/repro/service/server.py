@@ -10,6 +10,7 @@ Endpoints (all JSON; error bodies are ``{"error": msg}``):
 
 ====== ============================= =====================================
 GET    ``/v1/health``                liveness + job counts
+GET    ``/v1/metrics``               Prometheus text exposition (not JSON)
 POST   ``/v1/jobs``                  submit (wire request body) → record
 GET    ``/v1/jobs``                  all job records, submission order
 GET    ``/v1/jobs/<id>``             one job record
@@ -43,6 +44,7 @@ from pathlib import Path
 
 from .. import api
 from ..api.report import atomic_write_text
+from ..obs.export import render_prometheus
 from . import wire
 from .queue import DEFAULT_CLIENT_BUDGET, BudgetExceeded, JobQueue
 from .store import JobStore
@@ -135,6 +137,10 @@ class CampaignServer:
         if parts == ["v1", "health"] and method == "GET":
             await _send_json(writer, 200, self._health())
             return
+        if parts == ["v1", "metrics"] and method == "GET":
+            await _send_text(writer, 200,
+                             render_prometheus(self.queue.metrics))
+            return
         if parts == ["v1", "jobs"]:
             if method == "POST":
                 await self._submit(writer, headers, body)
@@ -219,10 +225,15 @@ class CampaignServer:
                      b"Cache-Control: no-store\r\n"
                      b"Connection: close\r\n\r\n")
         await writer.drain()
+        lag = self.queue.metrics.histogram(
+            "repro_sse_lag_frames",
+            "frames a streaming client was behind per delivered batch")
         while True:
             frames = await job.next_batch(index)
             if not frames:
                 break
+            # a batch of N means the client was N frames behind the run
+            lag.observe(len(frames))
             for frame in frames:
                 name = frame.get("event", "message")
                 data = json.dumps(frame, separators=(",", ":"))
@@ -274,6 +285,18 @@ async def _send_json(writer: asyncio.StreamWriter, status: int,
     reason = _REASONS.get(status, "Unknown")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+async def _send_text(writer: asyncio.StreamWriter, status: int,
+                     text: str) -> None:
+    body = text.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n").encode("latin-1")
     writer.write(head + body)

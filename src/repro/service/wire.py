@@ -51,7 +51,8 @@ EVENT_TYPES: dict[str, type] = {
                 api_events.CheckpointDone, api_events.RunWarning,
                 api_events.JobRetried, api_events.JobQuarantined,
                 api_events.WorkerLost, api_events.ExecutorDegraded,
-                api_events.JobStateChanged, api_events.RunFinished)
+                api_events.JobStateChanged, api_events.TelemetrySnapshot,
+                api_events.RunFinished)
 }
 
 #: RunRequest fields a wire submission may carry.  ``journal``/``resume``
@@ -222,11 +223,12 @@ def canonical_result(payload: dict) -> dict:
         engine.pop(key, None)
     payload["engine"] = engine
     meta = dict(payload.get("meta", {}))
-    # events/resilience/input_cache/prefix_plane record *how* the cells
-    # were scheduled and cached, which legitimately differs between a
-    # resumed run (fewer fresh evaluations) and a direct one
+    # events/resilience/input_cache/prefix_plane/telemetry record *how*
+    # the cells were scheduled, cached, and timed, which legitimately
+    # differs between a resumed run (fewer fresh evaluations) and a
+    # direct one
     for key in ("journal", "resumed_cells", "events", "resilience",
-                "input_cache", "prefix_plane"):
+                "input_cache", "prefix_plane", "telemetry"):
         meta.pop(key, None)
     payload["meta"] = meta
     return payload

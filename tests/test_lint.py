@@ -148,6 +148,33 @@ def test_wall_clock_monotonic_only_in_resilience(tmp_path):
         ("src/repro/core/engine.py", "no-wall-clock")]
 
 
+def test_wall_clock_monotonic_legal_in_obs_clock(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/obs/clock.py": """\
+            import time
+
+            class SystemClock:
+                def now(self):
+                    return time.monotonic()
+            """,
+    }, rules=[NoWallClock()])
+    assert findings == []
+
+
+def test_wall_clock_monotonic_banned_elsewhere_in_obs(tmp_path):
+    # only the clock module holds the allowance — the rest of the
+    # telemetry package must go through the Clock abstraction
+    findings = lint_tree(tmp_path, {
+        "src/repro/obs/spans.py": """\
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """,
+    }, rules=[NoWallClock()])
+    assert rule_ids(findings) == ["no-wall-clock"]
+
+
 # -- shm-lifecycle ---------------------------------------------------------
 
 def test_shm_bad_unowned_block(tmp_path):
@@ -273,6 +300,20 @@ def test_frozen_records_good_frozen_and_out_of_scope(tmp_path):
             """,
     }, rules=[FrozenRecords()])
     assert findings == []
+
+
+def test_frozen_records_covers_obs_spans(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/obs/spans.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class SpanRecord:
+                name: str = ""
+            """,
+    }, rules=[FrozenRecords()])
+    assert rule_ids(findings) == ["frozen-records"]
+    assert "SpanRecord" in findings[0].message
 
 
 # -- event-exhaustiveness --------------------------------------------------

@@ -30,7 +30,8 @@ import pytest
 
 import service_support  # noqa: F401  (registers svc-tiny)
 from repro import api
-from repro.api.events import CellDone, JobStateChanged, RunFinished
+from repro.api.events import (CellDone, JobStateChanged, RunFinished,
+                              TelemetrySnapshot)
 from repro.api.request import RunRequest
 from repro.service import (RequestRefused, ServiceClient, ServiceError,
                            start_in_thread, wire)
@@ -44,6 +45,17 @@ TOTAL_CELLS = 12
 
 
 # -- parity: service run == direct run, bit for bit ------------------------
+
+def _without_telemetry(report_dict):
+    """A report's wire form minus ``meta["telemetry"]`` — span timings
+    are wall-clock and legitimately differ between two runs; everything
+    else must stay bit-identical."""
+    payload = dict(report_dict)
+    meta = dict(payload.get("meta", {}))
+    meta.pop("telemetry", None)
+    payload["meta"] = meta
+    return payload
+
 
 def test_service_stream_matches_direct_run_bit_for_bit(tmp_path):
     request = RunRequest("svc-tiny", params=PARAMS)
@@ -70,12 +82,29 @@ def test_service_stream_matches_direct_run_bit_for_bit(tmp_path):
     lifecycle = [e for e in streamed if isinstance(e, JobStateChanged)]
     assert [e.state for e in lifecycle] == ["queued", "running", "done"]
     run_events = [e for e in streamed if not isinstance(e, JobStateChanged)]
-    assert run_events == direct_events
-    assert result == direct_report.to_dict()
+    # the telemetry snapshot carries wall-clock span timings, so only
+    # its shape is comparable across two runs; the rest of the stream
+    # (and each RunFinished report minus telemetry) is bit-identical
+    snapshots = [e for e in run_events if isinstance(e, TelemetrySnapshot)]
+    direct_snapshots = [e for e in direct_events
+                        if isinstance(e, TelemetrySnapshot)]
+    assert len(snapshots) == len(direct_snapshots) == 1
+    assert sorted(snapshots[0].phases) == sorted(direct_snapshots[0].phases)
+    assert snapshots[0].counters == direct_snapshots[0].counters
+
+    def comparable(events):
+        return [_without_telemetry(e.report.to_dict())
+                if isinstance(e, RunFinished) else e
+                for e in events if not isinstance(e, TelemetrySnapshot)]
+
+    assert comparable(run_events) == comparable(direct_events)
+    assert _without_telemetry(result) \
+        == _without_telemetry(direct_report.to_dict())
     # and the RunFinished frame carried the identical report inline
     finished = [e for e in run_events if isinstance(e, RunFinished)]
     assert len(finished) == 1
-    assert finished[0].report.to_dict() == direct_report.to_dict()
+    assert _without_telemetry(finished[0].report.to_dict()) \
+        == _without_telemetry(direct_report.to_dict())
 
 
 def test_quick_submission_over_cli_roundtrip(tmp_path, capsys):
@@ -104,7 +133,41 @@ def test_quick_submission_over_cli_roundtrip(tmp_path, capsys):
         assert "experiment: svc-tiny" in out.out
         payload = json.loads(report_path.read_text())
         direct = api.run("svc-tiny", quick=True)
-        assert payload == direct.to_dict()
+        assert _without_telemetry(payload) \
+            == _without_telemetry(direct.to_dict())
+
+
+# -- SSE replay: ?since=N is an exact suffix cursor ------------------------
+
+def test_sse_since_replays_in_order_without_duplicates(tmp_path):
+    """``?since=N`` must replay exactly the frames past N, in original
+    sequence order, never duplicating — with the telemetry frame
+    interleaved at its recorded position like any other event."""
+    with start_in_thread(tmp_path / "store", workers=1) as port:
+        client = ServiceClient(port=port)
+        record = client.submit(RunRequest("svc-tiny", params=PARAMS))
+        full = []
+        for kind, item in client.stream(record.job_id, timeout=120):
+            if kind == "end":
+                assert item.state is JobState.DONE
+            else:
+                full.append(item)
+        # the stream carries exactly one telemetry frame, after the
+        # last CellDone and before RunFinished
+        kinds = [type(e).__name__ for e in full]
+        assert kinds.count("TelemetrySnapshot") == 1
+        assert kinds.index("TelemetrySnapshot") \
+            > max(i for i, k in enumerate(kinds) if k == "CellDone")
+        assert kinds.index("TelemetrySnapshot") \
+            < kinds.index("RunFinished")
+        # every cursor yields the exact suffix — order preserved, no
+        # frame repeated, no frame skipped
+        for cursor in (0, 1, len(full) // 2, len(full) - 1, len(full)):
+            replayed = [item for kind, item
+                        in client.stream(record.job_id, since=cursor,
+                                         timeout=60)
+                        if kind != "end"]
+            assert replayed == full[cursor:]
 
 
 # -- durability: SIGKILL mid-campaign, restart, resume ---------------------
@@ -197,6 +260,19 @@ def test_sigkill_midcampaign_restart_resumes_from_journal(tmp_path):
         fresh_cells = {(e.point, e.repeat) for e in fresh}
         assert len(fresh_cells) == len(fresh)  # no cell emitted twice
         assert fresh_cells <= {(p, r) for p in range(4) for r in range(3)}
+        # SSE replay across the restart: the second life's buffer is a
+        # fresh sequence, and ?since=N is still an exact suffix cursor
+        # over it — original order, no duplicates, telemetry included
+        second_life = [item for kind, item
+                       in client.stream(record.job_id, timeout=60)
+                       if kind != "end"]
+        kinds = [type(e).__name__ for e in second_life]
+        assert kinds.count("TelemetrySnapshot") == 1
+        mid = len(second_life) // 2
+        replayed = [item for kind, item
+                    in client.stream(record.job_id, since=mid, timeout=60)
+                    if kind != "end"]
+        assert replayed == second_life[mid:]
         # after completion the journal holds the full grid exactly once
         assert sorted(_journaled_cells(journal)) \
             == sorted((p, r) for p in range(4) for r in range(3))
