@@ -505,7 +505,8 @@ def _cmd_lint(args) -> int:
     from .lint import lint_command
     return lint_command(args.paths, root=args.root, baseline=args.baseline,
                         update_baseline=args.write_baseline,
-                        list_rules=args.list_rules, json_output=args.json)
+                        list_rules=args.list_rules, json_output=args.json,
+                        changed=args.changed)
 
 
 def _cmd_table1(args) -> int:
@@ -775,6 +776,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--write-baseline", action="store_true",
                         help="regenerate the baseline waiving every "
                              "current finding")
+    p_lint.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="BASE",
+                        help="lint only python files git reports changed "
+                             "vs BASE (default HEAD) plus untracked ones")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     p_lint.add_argument("--json", action="store_true",

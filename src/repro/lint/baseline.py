@@ -55,7 +55,10 @@ class Baseline:
     def apply(self, findings: list[Finding]
               ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
         """Split findings into (active, waived); also return the stale
-        entries that matched nothing.  Unwaivable findings (cross-module
+        entries whose budget was not fully consumed.  An entry matching
+        *fewer* findings than its count is stale too — a burned-down
+        violation must tighten the baseline, not leave slack a future
+        regression could hide in.  Unwaivable findings (cross-module
         contracts) are never absorbed."""
         budget = Counter({entry.key(): entry.count
                           for entry in self.entries})
@@ -70,7 +73,7 @@ class Baseline:
                 active.append(finding)
         used = Counter((f.rule, f.path) for f in waived)
         stale = [entry for entry in self.entries
-                 if used[entry.key()] == 0]
+                 if used[entry.key()] < entry.count]
         return active, waived, stale
 
 

@@ -1,0 +1,193 @@
+"""Dataflow analyses over :mod:`repro.lint.cfg` graphs.
+
+Three analyses, all classic forward fixpoints at statement granularity:
+
+* :func:`reaching_definitions` — for every node, which definition sites
+  of each name can reach it (``name -> {node indices}``); the substrate
+  for use-def chains.
+* :func:`use_def` — for every ``Name`` *load* in a node's executed
+  code, the definition sites that reach it.
+* :func:`propagate_taint` — which names are (transitively) derived from
+  a seed set of parameters or from expressions a predicate marks as
+  sources.  Assignments propagate taint through their value expression;
+  assigning a clean value *kills* the taint (strong update — this is
+  what makes the rules flow-sensitive rather than grep-shaped).
+
+All analyses are may-analyses over the over-approximated CFG, so a name
+reported clean is clean on every feasible path, and rules that flag
+"tainted value reaches X" only fire when some path actually carries it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+
+from .cfg import CFG, CFGNode, shallow_walk
+
+__all__ = ["assigned_names", "name_loads", "propagate_taint",
+           "reaching_definitions", "use_def"]
+
+#: entry-node pseudo definition site (parameters, enclosing scope)
+ENTRY_DEF = -1
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Plain names bound by an assignment target (tuples/lists/starred
+    unpacked; attribute/subscript targets bind no local name)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _bindings(node: CFGNode) -> Iterator[tuple[str, ast.expr | None]]:
+    """``(name, value_expr)`` pairs bound when ``node`` executes.
+
+    ``value_expr`` is ``None`` for bindings with no data flow worth
+    tracking (``except E as name``, ``del``).
+    """
+    for code in node.code:
+        for item in shallow_walk(code):
+            if isinstance(item, ast.Assign):
+                for target in item.targets:
+                    for name in _target_names(target):
+                        yield name, item.value
+            elif isinstance(item, ast.AnnAssign) and item.value is not None:
+                for name in _target_names(item.target):
+                    yield name, item.value
+            elif isinstance(item, ast.AugAssign):
+                if isinstance(item.target, ast.Name):
+                    # reads the old value too: x += e depends on x and e
+                    yield item.target.id, ast.BoolOp(
+                        op=ast.Or(),
+                        values=[ast.Name(id=item.target.id, ctx=ast.Load()),
+                                item.value])
+            elif isinstance(item, ast.NamedExpr):
+                for name in _target_names(item.target):
+                    yield name, item.value
+            elif isinstance(item, ast.Delete):
+                for target in item.targets:
+                    for name in _target_names(target):
+                        yield name, None
+    stmt = node.stmt
+    if node.kind == "iter" and isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name in _target_names(stmt.target):
+            yield name, stmt.iter
+    elif node.kind == "with" and isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in _target_names(item.optional_vars):
+                    yield name, item.context_expr
+    elif node.kind == "handler" and isinstance(stmt, ast.ExceptHandler):
+        if stmt.name is not None:
+            yield stmt.name, None
+
+
+def assigned_names(node: CFGNode) -> set[str]:
+    """Every local name ``node`` (re)binds."""
+    return {name for name, _ in _bindings(node)}
+
+
+def name_loads(node: CFGNode) -> set[str]:
+    """Every plain name read by ``node``'s executed code."""
+    return {leaf.id for code in node.code for leaf in shallow_walk(code)
+            if isinstance(leaf, ast.Name)
+            and isinstance(leaf.ctx, ast.Load)}
+
+
+def reaching_definitions(cfg: CFG, params: frozenset[str] = frozenset()
+                         ) -> list[dict[str, set[int]]]:
+    """``result[n][name]`` = definition sites of ``name`` that can reach
+    node ``n``.  ``params`` (and anything else live at entry) are defined
+    at the pseudo-site :data:`ENTRY_DEF`."""
+    gen: list[set[str]] = [assigned_names(node) for node in cfg.nodes]
+    in_sets: list[dict[str, set[int]]] = [{} for _ in cfg.nodes]
+    out_sets: list[dict[str, set[int]]] = [{} for _ in cfg.nodes]
+    out_sets[cfg.entry] = {name: {ENTRY_DEF} for name in params}
+    preds = cfg.preds()
+    worklist = list(range(len(cfg.nodes)))
+    while worklist:
+        index = worklist.pop(0)
+        merged: dict[str, set[int]] = {}
+        for pred in preds[index]:
+            for name, sites in out_sets[pred].items():
+                merged.setdefault(name, set()).update(sites)
+        in_sets[index] = merged
+        new_out = {name: set(sites) for name, sites in merged.items()}
+        if index == cfg.entry:
+            for name in params:
+                new_out.setdefault(name, set()).add(ENTRY_DEF)
+        for name in gen[index]:
+            new_out[name] = {index}
+        if new_out != out_sets[index]:
+            out_sets[index] = new_out
+            worklist.extend(cfg.nodes[index].successors())
+    return in_sets
+
+
+def use_def(cfg: CFG, params: frozenset[str] = frozenset()
+            ) -> dict[tuple[int, str], set[int]]:
+    """Use-def chains: ``(node, name) -> definition sites`` for every
+    name load in the graph."""
+    reaching = reaching_definitions(cfg, params)
+    chains: dict[tuple[int, str], set[int]] = {}
+    for node in cfg.nodes:
+        for name in name_loads(node):
+            chains[(node.index, name)] = set(
+                reaching[node.index].get(name, set()))
+    return chains
+
+
+def expr_is_tainted(expr: ast.AST, tainted: frozenset[str],
+                    is_source: Callable[[ast.AST], bool] | None = None
+                    ) -> bool:
+    """Whether ``expr`` reads any tainted name or contains a source."""
+    for leaf in shallow_walk(expr):
+        if (isinstance(leaf, ast.Name) and isinstance(leaf.ctx, ast.Load)
+                and leaf.id in tainted):
+            return True
+        if is_source is not None and is_source(leaf):
+            return True
+    return False
+
+
+def propagate_taint(cfg: CFG, seeds: frozenset[str],
+                    is_source: Callable[[ast.AST], bool] | None = None
+                    ) -> list[frozenset[str]]:
+    """Per-node IN sets of tainted names.
+
+    ``seeds`` are tainted at entry (parameters); ``is_source`` marks
+    expressions that *create* taint (e.g. a ``Tracer(...)`` call).  An
+    assignment whose value is tainted taints its targets; one whose
+    value is clean kills them.
+    """
+    in_sets: list[frozenset[str]] = [frozenset() for _ in cfg.nodes]
+    out_sets: list[frozenset[str]] = [frozenset() for _ in cfg.nodes]
+    out_sets[cfg.entry] = frozenset(seeds)
+    preds = cfg.preds()
+    worklist = list(range(len(cfg.nodes)))
+    while worklist:
+        index = worklist.pop(0)
+        node = cfg.nodes[index]
+        merged: frozenset[str] = frozenset()
+        for pred in preds[index]:
+            merged |= out_sets[pred]
+        if index == cfg.entry:
+            merged |= seeds
+        in_sets[index] = merged
+        state = set(merged)
+        for name, value in _bindings(node):
+            if value is not None and expr_is_tainted(
+                    value, frozenset(state), is_source):
+                state.add(name)
+            else:
+                state.discard(name)
+        new_out = frozenset(state)
+        if new_out != out_sets[index]:
+            out_sets[index] = new_out
+            worklist.extend(node.successors())
+    return in_sets

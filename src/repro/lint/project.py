@@ -20,7 +20,8 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["LintUsageError", "Module", "Project", "load_project"]
+__all__ = ["LintUsageError", "Module", "ParseFailure", "Project",
+           "load_project"]
 
 #: ``# repro: allow[rule-a]`` / ``# repro: allow[rule-a, rule-b]`` /
 #: ``# repro: allow[*]``
@@ -94,12 +95,23 @@ class Module:
         return None
 
 
+@dataclass(frozen=True)
+class ParseFailure:
+    """A checked file the parser rejected — reported, never skipped."""
+
+    relpath: str
+    line: int
+    message: str
+
+
 @dataclass
 class Project:
     """Every module of one lint run, addressable by relative path."""
 
     root: Path
     modules: list[Module] = field(default_factory=list)
+    #: files that failed to parse; the runner turns these into findings
+    failures: list[ParseFailure] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._by_relpath = {module.relpath: module
@@ -158,19 +170,25 @@ def _build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
     return parents
 
 
-def parse_module(path: Path, root: Path) -> Module:
-    """Parse one file into a :class:`Module` (no code execution)."""
-    source = path.read_text(encoding="utf-8")
+def _relpath(path: Path, root: Path) -> str:
     try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as error:
-        raise LintUsageError(f"cannot parse {path}: {error}") from error
-    try:
-        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        return path.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
-        relpath = path.as_posix()
-    return Module(path=path, relpath=relpath, source=source, tree=tree,
-                  allow=_collect_allows(source),
+        return path.as_posix()
+
+
+def parse_module(path: Path, root: Path) -> Module:
+    """Parse one file into a :class:`Module` (no code execution).
+
+    Raises :class:`SyntaxError` on an unparsable file —
+    :func:`load_project` converts that into a :class:`ParseFailure`
+    so a broken file is a reported fact of the run, never a silent
+    skip.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return Module(path=path, relpath=_relpath(path, root), source=source,
+                  tree=tree, allow=_collect_allows(source),
                   parents=_build_parents(tree),
                   aliases=_collect_aliases(tree))
 
@@ -191,10 +209,17 @@ def load_project(paths: Sequence[Path], root: Path) -> Project:
     rooted at ``root`` (paths are deduplicated, order-stable)."""
     seen: set[Path] = set()
     modules: list[Module] = []
+    failures: list[ParseFailure] = []
     for path in _iter_python_files(paths):
         resolved = path.resolve()
         if resolved in seen:
             continue
         seen.add(resolved)
-        modules.append(parse_module(path, root))
-    return Project(root=root, modules=modules)
+        try:
+            modules.append(parse_module(path, root))
+        except SyntaxError as error:
+            failures.append(ParseFailure(
+                relpath=_relpath(path, root),
+                line=error.lineno or 1,
+                message=error.msg or "invalid syntax"))
+    return Project(root=root, modules=modules, failures=failures)

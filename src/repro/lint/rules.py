@@ -7,8 +7,19 @@ protocol (frozen records, exhaustive rendering/relaying).  Rules are
 pure AST analyses over a :class:`~repro.lint.project.Project`; none of
 them import or execute the code under check.
 
+Two families coexist here:
+
+* **syntactic rules** walk the AST of each module directly
+  (``no-global-rng``, ``no-wall-clock``, ...);
+* **flow rules** reason about *paths* on the intraprocedural CFGs of
+  :mod:`repro.lint.cfg` with the dataflow analyses of
+  :mod:`repro.lint.flow` (``shm-leak-path``, ``rng-taint``,
+  ``obs-pickle-boundary``, ``journal-order``) — a violation is a
+  provable path, not a missing keyword nearby.
+
 The catalog (rule id → contract) is documented for humans in
-``docs/static-analysis.md``; keep the two in sync when adding a rule.
+``docs/static-analysis.md``; the ``protocol-drift`` rule fails the
+build when the two fall out of sync.
 """
 
 from __future__ import annotations
@@ -16,19 +27,24 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterable, Iterator
 
+from .cfg import CFG, CFGNode, Scope, build_cfg, iter_scopes, shallow_walk
 from .findings import Finding, Rule
+from .flow import expr_is_tainted, propagate_taint
 from .project import Module, Project
 
 __all__ = [
     "DEFAULT_RULES",
     "EventExhaustiveness",
     "FrozenRecords",
+    "JournalOrder",
     "NoGlobalRng",
     "NoSilentExcept",
     "NoUnpicklableSubmit",
     "NoWallClock",
-    "SeedThreading",
-    "ShmLifecycle",
+    "ObsPickleBoundary",
+    "ProtocolDrift",
+    "RngTaint",
+    "ShmLeakPath",
     "UnboundedQueue",
 ]
 
@@ -37,6 +53,7 @@ EVENTS_MODULE = "src/repro/api/events.py"
 RESILIENCE_MODULE = "src/repro/core/resilience.py"
 CLI_MODULE = "src/repro/cli.py"
 HANDLE_MODULE = "src/repro/api/handle.py"
+WIRE_MODULE = "src/repro/service/wire.py"
 #: the telemetry clock — the only other legitimate monotonic reader
 OBS_CLOCK_MODULE = "src/repro/obs/clock.py"
 #: trace spans are protocol records too (journaled, rendered)
@@ -187,38 +204,81 @@ class NoWallClock:
                         "not branch on elapsed time")
 
 
-class ShmLifecycle:
-    """Every created shared-memory block needs an owner that releases it.
+def _called_name(call: ast.Call) -> str | None:
+    """The bare name a call invokes (``f(...)`` -> ``f``,
+    ``o.m(...)`` -> ``m``)."""
+    callee = call.func
+    return (callee.attr if isinstance(callee, ast.Attribute)
+            else callee.id if isinstance(callee, ast.Name) else None)
 
-    A ``SharedMemory(create=True)`` call must either run under a
-    ``try``/``finally`` that can unlink it, immediately register the
-    block with a lifecycle container (``*.append(shm)`` /
-    ``register(shm)``), or live inside :class:`SharedPlaneRegistry`
-    itself — otherwise any exception between create and release leaks a
-    ``psm_*`` block until reboot.
+
+def _mentions(expr: ast.AST, name: str) -> bool:
+    """Whether ``expr`` reads ``name`` (shallow — nested scopes are
+    their own contracts)."""
+    return any(isinstance(leaf, ast.Name) and leaf.id == name
+               and isinstance(leaf.ctx, ast.Load)
+               for leaf in shallow_walk(expr))
+
+
+def _escapes(expr: ast.AST, name: str) -> bool:
+    """Whether the *object* bound to ``name`` escapes through ``expr``.
+
+    Reading an attribute off it (``shm.name``, ``shm.buf``) derives a
+    value but does not hand the block itself to anyone — only a bare
+    reference counts as an ownership transfer."""
+    derived = {leaf.value for leaf in ast.walk(expr)
+               if isinstance(leaf, ast.Attribute)}
+    return any(isinstance(leaf, ast.Name) and leaf.id == name
+               and isinstance(leaf.ctx, ast.Load) and leaf not in derived
+               for leaf in ast.walk(expr))
+
+
+class ShmLeakPath:
+    """A created shared-memory block must be released on *every* path.
+
+    Flow-sensitive successor of the old syntactic ``shm-lifecycle``
+    rule: from each ``name = SharedMemory(create=True)`` definition, it
+    walks the function's CFG — exceptional edges included — and demands
+    that every path to the scope exit passes a point where the block is
+    released (``name.close()``/``name.unlink()``), handed to a lifecycle
+    owner (``owner.append(name)`` / ``register(name)`` /
+    ``_release_shared_blocks([name])``), stored (``self.x = name``,
+    ``d[k] = name``), or returned to the caller.  A path where the very
+    next call raises and skips the release is exactly the leak this
+    reports — "there is a ``try/finally`` nearby" is no longer proof.
+
+    A conditional release guarded on the tracked name itself
+    (``if shm is not None: shm.close()``) counts as releasing at the
+    guard: the idiomatic ``finally`` pattern stays legal.
     """
 
-    rule_id = "shm-lifecycle"
-    summary = ("SharedMemory(create=True) must be try/finally-guarded or "
-               "registered with a lifecycle owner")
+    rule_id = "shm-leak-path"
+    summary = ("every CFG path from SharedMemory(create=True) must reach "
+               "a release/owner-registration, exceptional edges included")
+    #: call names that take ownership of a block passed as an argument
     _register_calls = frozenset({"append", "register", "track", "add"})
 
     def check(self, project: Project) -> Iterable[Finding]:
         for module in project.modules:
-            for node in ast.walk(module.tree):
-                if not self._creates_block(module, node):
-                    continue
-                if self._guarded(module, node):
-                    continue
-                yield from _finding(
-                    module, node, self.rule_id,
-                    "SharedMemory(create=True) without a try/finally "
-                    "release or registration with a lifecycle owner "
-                    "(SharedPlaneRegistry); a failure here leaks the "
-                    "block until reboot")
+            for scope in iter_scopes(module.tree):
+                yield from self._check_scope(module, scope)
 
-    @staticmethod
-    def _creates_block(module: Module, node: ast.AST) -> bool:
+    def _check_scope(self, module: Module,
+                     scope: Scope) -> Iterator[Finding]:
+        if not scope.body or not any(
+                self._creates_block(module, leaf)
+                for stmt in scope.body for leaf in shallow_walk(stmt)):
+            return
+        cfg = build_cfg(scope)
+        for node in cfg.nodes:
+            for code in node.code:
+                for leaf in shallow_walk(code):
+                    if isinstance(leaf, ast.Call) \
+                            and self._creates_block(module, leaf):
+                        yield from self._check_create(module, cfg, node,
+                                                      leaf)
+
+    def _creates_block(self, module: Module, node: ast.AST) -> bool:
         if not isinstance(node, ast.Call):
             return False
         canonical = module.resolve(node.func)
@@ -227,38 +287,131 @@ class ShmLifecycle:
         return any(kw.arg == "create" and isinstance(kw.value, ast.Constant)
                    and kw.value.value is True for kw in node.keywords)
 
-    def _guarded(self, module: Module, node: ast.AST) -> bool:
-        target: str | None = None
-        for ancestor in module.ancestors(node):
-            if isinstance(ancestor, ast.Try) and ancestor.finalbody:
-                return True
-            if (isinstance(ancestor, ast.ClassDef)
-                    and ancestor.name == "SharedPlaneRegistry"):
-                return True
-            if isinstance(ancestor, ast.Assign) and target is None:
-                for t in ancestor.targets:
-                    if isinstance(t, ast.Name):
-                        target = t.id
-            if isinstance(ancestor, _FUNCTION_NODES):
-                return (target is not None
-                        and self._registered(ancestor, target))
+    def _check_create(self, module: Module, cfg: CFG, node: CFGNode,
+                      create: ast.Call) -> Iterator[Finding]:
+        name = self._bound_name(node, create)
+        if name is None:
+            # ownership transferred at the create site itself: assigned
+            # to an attribute/subscript, registered inline, returned,
+            # or entered as a context manager
+            if self._owned_at_create(node, create):
+                return
+            yield from _finding(
+                module, create, self.rule_id,
+                "SharedMemory(create=True) is never bound to a releasable "
+                "name; the block leaks the moment this statement "
+                "completes")
+            return
+        releases = frozenset(
+            other.index for other in cfg.nodes
+            if other.index != node.index and self._releases(other, name))
+        reached = cfg.reachable_without(
+            node.index, releases,
+            skip_exceptional_from=frozenset({node.index}))
+        if cfg.exit not in reached:
+            return
+        normal_only = self._normal_reach(cfg, node.index, releases)
+        how = ("only via an exceptional edge (an exception between "
+               "create and release skips the cleanup)"
+               if cfg.exit not in normal_only else "on a normal path")
+        yield from _finding(
+            module, create, self.rule_id,
+            f"SharedMemory(create=True) bound to {name!r} can reach the "
+            f"end of the scope without close()/unlink()/owner "
+            f"registration {how}; the psm_* block would leak until "
+            "reboot")
+
+    @staticmethod
+    def _normal_reach(cfg: CFG, start: int,
+                      releases: frozenset[int]) -> set[int]:
+        seen: set[int] = set()
+        frontier = [start]
+        while frontier:
+            index = frontier.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            if index in releases and index != start:
+                continue
+            frontier.extend(cfg.nodes[index].succ - seen)
+        return seen
+
+    @staticmethod
+    def _bound_name(node: CFGNode, create: ast.Call) -> str | None:
+        """The plain name the create call is assigned to, if the node is
+        a straight ``name = SharedMemory(create=True)`` binding."""
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign) and stmt.value is create:
+            targets = stmt.targets
+            if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                return targets[0].id
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is create \
+                and isinstance(stmt.target, ast.Name):
+            return stmt.target.id
+        return None
+
+    def _owned_at_create(self, node: CFGNode, create: ast.Call) -> bool:
+        stmt = node.stmt
+        if isinstance(stmt, (ast.Return, ast.Assign, ast.AnnAssign)):
+            # returned, or stored into an attribute/subscript owner
+            return True
+        if node.kind == "with":
+            return True
+        for code in node.code:
+            for leaf in shallow_walk(code):
+                if (isinstance(leaf, ast.Call) and leaf is not create
+                        and _called_name(leaf) in self._register_calls
+                        and any(create is sub for arg in leaf.args
+                                for sub in ast.walk(arg))):
+                    return True
         return False
 
-    def _registered(self, function: ast.AST, name: str) -> bool:
-        """Whether the enclosing function hands ``name`` to a lifecycle
-        container (``owner.append(name)`` / ``register(name)``)."""
-        for node in ast.walk(function):
-            if not isinstance(node, ast.Call):
-                continue
-            callee = node.func
-            called = (callee.attr if isinstance(callee, ast.Attribute)
-                      else callee.id if isinstance(callee, ast.Name)
-                      else None)
-            if called not in self._register_calls:
-                continue
-            if any(isinstance(arg, ast.Name) and arg.id == name
-                   for arg in node.args):
+    def _releases(self, node: CFGNode, name: str) -> bool:
+        """Whether executing ``node`` releases or transfers ownership of
+        the block bound to ``name``."""
+        stmt = node.stmt
+        # `if shm is not None: shm.close()` — reaching the guard counts,
+        # because the branch condition is about the tracked name itself
+        if (node.kind == "test" and isinstance(stmt, ast.If)
+                and _mentions(stmt.test, name)
+                and any(self._release_action(leaf, name)
+                        for leaf in ast.walk(stmt))):
+            return True
+        if node.kind == "with" and any(
+                _mentions(code, name) for code in node.code):
+            return True
+        for code in node.code:
+            for leaf in shallow_walk(code):
+                if self._release_action(leaf, name):
+                    return True
+        if isinstance(stmt, ast.Return) and node.kind == "stmt" \
+                and stmt.value is not None and _escapes(stmt.value, name):
+            return True
+        return False
+
+    def _release_action(self, leaf: ast.AST, name: str) -> bool:
+        if isinstance(leaf, ast.Call):
+            func = leaf.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("close", "unlink")
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name):
                 return True
+            called = _called_name(leaf)
+            if called is not None and (
+                    called in self._register_calls
+                    or "release" in called or "unlink" in called
+                    or "close" in called):
+                if any(_escapes(arg, name) for arg in leaf.args) or any(
+                        _escapes(kw.value, name) for kw in leaf.keywords):
+                    return True
+        if isinstance(leaf, ast.Assign) and _escapes(leaf.value, name) \
+                and any(isinstance(t, (ast.Attribute, ast.Subscript))
+                        for t in leaf.targets):
+            return True
+        if isinstance(leaf, (ast.Yield, ast.YieldFrom)) \
+                and leaf.value is not None and _escapes(leaf.value, name):
+            return True
         return False
 
 
@@ -343,38 +496,63 @@ class FrozenRecords:
                     "records never mutating mid-stream")
 
 
-class EventExhaustiveness:
-    """Every typed event must reach every consumer.
+def _api_event_classes(module: Module) -> dict[str, ast.ClassDef]:
+    """RunEvent subclasses defined in ``module`` (transitively, by local
+    base name) — the protocol vocabulary shared by every layer."""
+    event_names = {"RunEvent"}
+    found: dict[str, ast.ClassDef] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {base.id for base in node.bases
+                 if isinstance(base, ast.Name)}
+        if bases & event_names:
+            event_names.add(node.name)
+            found[node.name] = node
+    return found
 
-    Cross-module contract: each :class:`RunEvent` subclass defined in
-    ``api/events.py`` needs an ``isinstance`` dispatch branch in the CLI
-    renderer (``cli.py``), and each record the engine supervision layer
+
+def _isinstance_targets(module: Module) -> set[str]:
+    """Class names checked via ``isinstance(x, T)`` anywhere in the
+    module (tuple second arguments included)."""
+    targets: set[str] = set()
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "isinstance"
+                and len(node.args) == 2):
+            continue
+        spec = node.args[1]
+        elements = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+        for element in elements:
+            if isinstance(element, ast.Name):
+                targets.add(element.id)
+            elif isinstance(element, ast.Attribute):
+                targets.add(element.attr)
+    return targets
+
+
+class EventExhaustiveness:
+    """Engine records must mirror into the api event vocabulary.
+
+    Cross-module contract: each record the engine supervision layer
     emits (``core/resilience.py``) needs a mirror entry in
     ``api/handle.py``'s ``_ENGINE_EVENTS`` relay table plus a
-    same-named api event.  Without this, adding an event silently drops
-    it from one consumer.  Findings are never baseline-waivable.
+    same-named api event.  Without this, adding a record silently drops
+    it from api subscribers.  Consumer-side exhaustiveness (wire table,
+    CLI renderer, docs) lives in the ``protocol-drift`` rule.  Findings
+    are never baseline-waivable.
     """
 
     rule_id = "event-exhaustiveness"
-    summary = ("every typed event must be rendered by cli.py and every "
-               "engine record relayed by api/handle.py")
+    summary = ("every engine record needs an api mirror event and an "
+               "api/handle.py relay entry")
 
     def check(self, project: Project) -> Iterable[Finding]:
         events = project.get(EVENTS_MODULE)
         if events is None:
             return  # partial lint run without the protocol modules
-        api_events = self._api_events(events)
-        cli = project.get(CLI_MODULE)
-        if cli is not None:
-            dispatched = self._isinstance_targets(cli)
-            for name, node in api_events.items():
-                if name not in dispatched:
-                    yield from _finding(
-                        events, node, self.rule_id,
-                        f"event {name} has no isinstance dispatch branch "
-                        "in cli.py's renderer; a run emitting it would "
-                        "be silently dropped from the CLI",
-                        waivable=False)
+        api_events = _api_event_classes(events)
         resilience = project.get(RESILIENCE_MODULE)
         handle = project.get(HANDLE_MODULE)
         if resilience is None:
@@ -396,41 +574,6 @@ class EventExhaustiveness:
                     "api/handle.py's _ENGINE_EVENTS relay table; it "
                     "would never be mirrored to api subscribers",
                     waivable=False)
-
-    @staticmethod
-    def _api_events(module: Module) -> dict[str, ast.ClassDef]:
-        """RunEvent subclasses (transitively, by local base name)."""
-        event_names = {"RunEvent"}
-        found: dict[str, ast.ClassDef] = {}
-        for node in module.tree.body:
-            if not isinstance(node, ast.ClassDef):
-                continue
-            bases = {base.id for base in node.bases
-                     if isinstance(base, ast.Name)}
-            if bases & event_names:
-                event_names.add(node.name)
-                found[node.name] = node
-        return found
-
-    @staticmethod
-    def _isinstance_targets(module: Module) -> set[str]:
-        """Class names checked via ``isinstance(x, T)`` anywhere in the
-        module (tuple second arguments included)."""
-        targets: set[str] = set()
-        for node in ast.walk(module.tree):
-            if not (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Name)
-                    and node.func.id == "isinstance"
-                    and len(node.args) == 2):
-                continue
-            spec = node.args[1]
-            elements = spec.elts if isinstance(spec, ast.Tuple) else [spec]
-            for element in elements:
-                if isinstance(element, ast.Name):
-                    targets.add(element.id)
-                elif isinstance(element, ast.Attribute):
-                    targets.add(element.attr)
-        return targets
 
     @staticmethod
     def _emitted_records(module: Module) -> dict[str, ast.ClassDef]:
@@ -593,72 +736,393 @@ class UnboundedQueue:
         return True
 
 
-class SeedThreading:
-    """Functions that accept randomness must actually use it.
+class RngTaint:
+    """Caller-provided randomness must taint every generator built.
 
-    A public function taking an ``rng`` parameter that constructs its
-    own generator ignores the caller's seeded stream; one taking
-    ``seed`` must thread that seed into any generator it builds.
-    Applies to ``src/`` only — tests legitimately build multiple
-    generators to compare seeds.
+    Flow-sensitive successor of the old ``seed-threading`` rule: in a
+    public ``src/`` function taking an ``rng``/``seed`` parameter, the
+    dataflow from that parameter (via :func:`propagate_taint`) must
+    reach the arguments of every ``default_rng``/``Generator``
+    construction in the function.  A generator built from values with
+    no path back to the caller's seed forks an independent stream —
+    exactly the nondeterminism the paper's bit-identical campaigns
+    cannot absorb.  Unlike the grep-shaped predecessor this follows the
+    seed through intermediate assignments (``s = seed + i``) and kills
+    the taint when a name is reassigned from a clean value.
     """
 
-    rule_id = "seed-threading"
-    summary = ("public functions taking rng/seed must not construct an "
-               "independent generator")
+    rule_id = "rng-taint"
+    summary = ("in public src/ functions, rng/seed parameters must "
+               "taint every generator construction")
     _constructors = frozenset({"numpy.random.default_rng",
                                "numpy.random.Generator"})
+    _seed_params = frozenset({"rng", "seed"})
 
     def check(self, project: Project) -> Iterable[Finding]:
         for module in project.modules:
             if not module.relpath.startswith("src/"):
                 continue
-            for node in ast.walk(module.tree):
-                if not isinstance(node, _FUNCTION_NODES):
+            for scope in iter_scopes(module.tree):
+                if not isinstance(scope, _FUNCTION_NODES):
                     continue
-                if node.name.startswith("_"):
+                if scope.name.startswith("_"):
                     continue
-                params = _param_names(node)
-                if "rng" in params:
-                    yield from self._check_rng_function(module, node)
-                elif "seed" in params:
-                    yield from self._check_seed_function(module, node)
+                seeds = self._seed_params & _param_names(scope)
+                if not seeds:
+                    continue
+                yield from self._check_function(module, scope,
+                                                frozenset(seeds))
 
-    def _generator_calls(self, module: Module,
-                         function: ast.AST) -> Iterator[ast.Call]:
-        for node in _walk_own_scope(function):
-            if (isinstance(node, ast.Call)
-                    and module.resolve(node.func) in self._constructors):
-                yield node
-
-    def _check_rng_function(self, module: Module,
-                            function: ast.FunctionDef
-                            | ast.AsyncFunctionDef) -> Iterator[Finding]:
-        for call in self._generator_calls(module, function):
-            yield from _finding(
-                module, call, self.rule_id,
-                f"{function.name}() takes an rng parameter but "
-                "constructs its own generator, ignoring the caller's "
-                "seeded stream")
-
-    def _check_seed_function(self, module: Module,
-                             function: ast.FunctionDef
-                             | ast.AsyncFunctionDef) -> Iterator[Finding]:
-        for call in self._generator_calls(module, function):
-            mentions_seed = any(
-                isinstance(leaf, ast.Name) and leaf.id == "seed"
-                for arg in (*call.args, *(kw.value for kw in call.keywords))
-                for leaf in ast.walk(arg))
-            if not mentions_seed:
+    def _check_function(self, module: Module,
+                        function: ast.FunctionDef | ast.AsyncFunctionDef,
+                        seeds: frozenset[str]) -> Iterator[Finding]:
+        cfg = build_cfg(function)
+        calls = [
+            (node, leaf) for node in cfg.nodes
+            for code in node.code for leaf in shallow_walk(code)
+            if isinstance(leaf, ast.Call)
+            and module.resolve(leaf.func) in self._constructors]
+        if not calls:
+            return
+        tainted = propagate_taint(cfg, seeds)
+        for node, call in calls:
+            arg_exprs = [*call.args, *(kw.value for kw in call.keywords)]
+            if not arg_exprs:
                 yield from _finding(
                     module, call, self.rule_id,
-                    f"{function.name}() takes a seed parameter but "
-                    "constructs a generator without threading it "
-                    "through")
+                    f"{function.name}() takes {'/'.join(sorted(seeds))} "
+                    "but constructs an unseeded generator; the caller's "
+                    "stream never reaches it")
+                continue
+            state = tainted[node.index] | seeds
+            if not any(expr_is_tainted(expr, state) for expr in arg_exprs):
+                yield from _finding(
+                    module, call, self.rule_id,
+                    f"{function.name}() takes "
+                    f"{'/'.join(sorted(seeds))} but no dataflow from it "
+                    "reaches this generator construction; the stream "
+                    "forks independently of the caller's seed")
+
+
+class ObsPickleBoundary:
+    """Observability objects must never cross a pickle boundary.
+
+    Tracers, metrics registries, and ``Observability`` bundles hold
+    locks, file handles, and callbacks — pickling one into an executor
+    payload either crashes the pool or silently forks the telemetry
+    state.  This rule taints every value whose def-chain includes a
+    ``Tracer``/``MetricsRegistry``/``Observability`` construction (or a
+    parameter named/annotated as one) and flags any tainted value in
+    the *payload* arguments of ``apply_async``/``submit``/``imap*``.
+    Callbacks (``callback=``/``error_callback=``) run parent-side and
+    stay exempt.
+    """
+
+    rule_id = "obs-pickle-boundary"
+    summary = ("no Tracer/MetricsRegistry/Observability value may flow "
+               "into executor submit payloads")
+    _submit_names = frozenset({
+        "apply_async", "apply", "submit", "imap", "imap_unordered",
+        "map_async", "starmap", "starmap_async",
+    })
+    _obs_types = frozenset({"Tracer", "MetricsRegistry", "Observability"})
+    _obs_factories = frozenset({"get_registry"})
+    _parent_side_kwargs = frozenset({"callback", "error_callback"})
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if not module.relpath.startswith("src/"):
+                continue
+            for scope in iter_scopes(module.tree):
+                if not isinstance(scope, _FUNCTION_NODES):
+                    continue
+                if not any(isinstance(leaf, ast.Call)
+                           and isinstance(leaf.func, ast.Attribute)
+                           and leaf.func.attr in self._submit_names
+                           for stmt in scope.body
+                           for leaf in shallow_walk(stmt)):
+                    continue
+                yield from self._check_function(module, scope)
+
+    def _is_source(self, module: Module, leaf: ast.AST) -> bool:
+        if not isinstance(leaf, ast.Call):
+            return False
+        canonical = module.resolve(leaf.func)
+        if canonical is not None:
+            tail = canonical.rpartition(".")[2]
+            return tail in self._obs_types | self._obs_factories
+        called = _called_name(leaf)
+        return called in self._obs_types | self._obs_factories
+
+    def _tainted_params(self, function: ast.FunctionDef
+                        | ast.AsyncFunctionDef) -> frozenset[str]:
+        names: set[str] = set()
+        args = function.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg in ("obs", "tracer", "metrics", "observability"):
+                names.add(arg.arg)
+                continue
+            annotation = arg.annotation
+            if annotation is not None and any(
+                    isinstance(leaf, ast.Name) and leaf.id in self._obs_types
+                    or isinstance(leaf, ast.Attribute)
+                    and leaf.attr in self._obs_types
+                    for leaf in ast.walk(annotation)):
+                names.add(arg.arg)
+        return frozenset(names)
+
+    def _check_function(self, module: Module,
+                        function: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> Iterator[Finding]:
+        cfg = build_cfg(function)
+        tainted = propagate_taint(
+            cfg, self._tainted_params(function),
+            lambda leaf: self._is_source(module, leaf))
+        for node in cfg.nodes:
+            for code in node.code:
+                for leaf in shallow_walk(code):
+                    if not (isinstance(leaf, ast.Call)
+                            and isinstance(leaf.func, ast.Attribute)
+                            and leaf.func.attr in self._submit_names):
+                        continue
+                    state = tainted[node.index]
+                    for expr in self._payload_args(leaf):
+                        if expr_is_tainted(
+                                expr, state,
+                                lambda sub: self._is_source(module, sub)):
+                            yield from _finding(
+                                module, expr, self.rule_id,
+                                "observability object (Tracer/Metrics"
+                                "Registry/Observability def-chain) flows "
+                                f"into .{leaf.func.attr}() payload; it "
+                                "cannot cross the pickle boundary into a "
+                                "worker process")
+
+    def _payload_args(self, call: ast.Call) -> Iterator[ast.expr]:
+        yield from call.args
+        for kw in call.keywords:
+            if kw.arg not in self._parent_side_kwargs:
+                yield kw.value
+
+
+class JournalOrder:
+    """Record-before-progress: the store write must dominate the
+    publish.
+
+    In the service worker loop (``service/queue.py``), a job result
+    must be durably recorded (``save_result``) before the
+    state-transition event that announces completion is published —
+    otherwise a crash between publish and write leaves watchers who saw
+    ``DONE`` fetching a result that does not exist.  The CFG proof
+    obligation: every ``transition(... DONE ...)`` call node must be
+    *dominated* by a ``save_result`` call node, so no execution path
+    reaches the announcement without passing the write.
+    """
+
+    rule_id = "journal-order"
+    summary = ("in service/queue.py workers, save_result must dominate "
+               "the DONE transition/publish")
+    worker_paths = ("src/repro/service/queue.py",)
+    _store_calls = frozenset({"save_result"})
+    _publish_calls = frozenset({"transition"})
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for path in self.worker_paths:
+            module = project.get(path)
+            if module is None:
+                continue
+            for scope in iter_scopes(module.tree):
+                if not isinstance(scope, _FUNCTION_NODES):
+                    continue
+                yield from self._check_function(module, scope)
+
+    def _check_function(self, module: Module,
+                        function: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> Iterator[Finding]:
+        cfg = build_cfg(function)
+        stores: set[int] = set()
+        publishes: list[tuple[CFGNode, ast.Call]] = []
+        for node in cfg.nodes:
+            for code in node.code:
+                for leaf in shallow_walk(code):
+                    if not isinstance(leaf, ast.Call):
+                        continue
+                    called = _called_name(leaf)
+                    if called in self._store_calls:
+                        stores.add(node.index)
+                    elif called in self._publish_calls \
+                            and self._announces_done(leaf):
+                        publishes.append((node, leaf))
+        if not publishes:
+            return
+        dom = cfg.dominators()
+        for node, call in publishes:
+            if not stores & dom[node.index]:
+                yield from _finding(
+                    module, call, self.rule_id,
+                    f"{function.name}() publishes a DONE transition "
+                    "that is not dominated by a save_result() store "
+                    "write; a crash after this publish would announce a "
+                    "result that was never recorded")
+
+    @staticmethod
+    def _announces_done(call: ast.Call) -> bool:
+        return any(isinstance(leaf, ast.Attribute) and leaf.attr == "DONE"
+                   for arg in (*call.args,
+                               *(kw.value for kw in call.keywords))
+                   for leaf in ast.walk(arg))
+
+
+class ProtocolDrift:
+    """Every RunEvent must exist consistently across all four layers.
+
+    The event protocol is defined once (``api/events.py``) and consumed
+    three more times: the wire codec's ``EVENT_TYPES`` registry
+    (``service/wire.py``), the CLI renderer's ``isinstance`` dispatch
+    (``cli.py``), and the human-facing catalogs (``docs/api.md`` events
+    table, ``docs/static-analysis.md`` rule catalog).  A subclass
+    missing from any layer is protocol drift: the wire silently drops
+    it, the CLI swallows it, or the docs lie.  This rule reads all four
+    layers and fails unwaivably on any asymmetry — including the
+    reverse direction (a wire/docs entry for an event that no longer
+    exists).  Docs layers are read from ``project.root`` and skipped
+    when absent, so fixture trees without docs stay checkable.
+    """
+
+    rule_id = "protocol-drift"
+    summary = ("RunEvent subclasses must agree across events.py, "
+               "wire.py EVENT_TYPES, the CLI renderer, and the docs "
+               "catalogs")
+    docs_api = "docs/api.md"
+    docs_lint = "docs/static-analysis.md"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        events = project.get(EVENTS_MODULE)
+        if events is None:
+            return  # partial lint run without the protocol modules
+        api_events = _api_event_classes(events)
+        yield from self._check_wire(project, events, api_events)
+        yield from self._check_cli(project, events, api_events)
+        yield from self._check_docs(project, events, api_events)
+
+    def _check_wire(self, project: Project, events: Module,
+                    api_events: dict[str, ast.ClassDef]
+                    ) -> Iterator[Finding]:
+        wire = project.get(WIRE_MODULE)
+        if wire is None:
+            return
+        registered = self._event_types_keys(wire)
+        if registered is None:
+            yield Finding(
+                path=wire.relpath, line=1, rule=self.rule_id,
+                message="service/wire.py has no parseable EVENT_TYPES "
+                        "registry; the wire codec cannot be checked "
+                        "against the event vocabulary", waivable=False)
+            return
+        names, node = registered
+        for name, cls in api_events.items():
+            if name not in names:
+                yield from _finding(
+                    events, cls, self.rule_id,
+                    f"event {name} is missing from service/wire.py's "
+                    "EVENT_TYPES registry; the wire codec would drop it "
+                    "on decode", waivable=False)
+        for name in sorted(names - api_events.keys()):
+            yield from _finding(
+                wire, node, self.rule_id,
+                f"wire.py EVENT_TYPES registers {name}, which is not a "
+                "RunEvent subclass in api/events.py; stale registry "
+                "entry", waivable=False)
+
+    def _check_cli(self, project: Project, events: Module,
+                   api_events: dict[str, ast.ClassDef]
+                   ) -> Iterator[Finding]:
+        cli = project.get(CLI_MODULE)
+        if cli is None:
+            return
+        dispatched = _isinstance_targets(cli)
+        for name, cls in api_events.items():
+            if name not in dispatched:
+                yield from _finding(
+                    events, cls, self.rule_id,
+                    f"event {name} has no isinstance dispatch branch in "
+                    "cli.py's renderer; a run emitting it would be "
+                    "silently dropped from the CLI", waivable=False)
+
+    def _check_docs(self, project: Project, events: Module,
+                    api_events: dict[str, ast.ClassDef]
+                    ) -> Iterator[Finding]:
+        api_text = self._read_doc(project, self.docs_api)
+        if api_text is not None:
+            for name, cls in api_events.items():
+                if name not in api_text:
+                    yield from _finding(
+                        events, cls, self.rule_id,
+                        f"event {name} is not documented in "
+                        f"{self.docs_api}'s event catalog; the public "
+                        "protocol docs have drifted", waivable=False)
+        lint_text = self._read_doc(project, self.docs_lint)
+        if lint_text is not None:
+            for rule in DEFAULT_RULES:
+                if f"`{rule.rule_id}`" not in lint_text:
+                    yield Finding(
+                        path=self.docs_lint, line=1, rule=self.rule_id,
+                        message=f"rule {rule.rule_id} is not documented "
+                                f"in {self.docs_lint}'s catalog; the "
+                                "rule catalog has drifted",
+                        waivable=False)
+
+    @staticmethod
+    def _read_doc(project: Project, relpath: str) -> str | None:
+        path = project.root / relpath
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # fixture trees ship no docs — skip the layer
+
+    @staticmethod
+    def _event_types_keys(module: Module) -> tuple[set[str],
+                                                   ast.AST] | None:
+        """Names registered in the ``EVENT_TYPES`` assignment: dict
+        literal keys, or the classes enumerated by the PR 8 dict
+        comprehension ``{cls.__name__: cls for cls in (...)}``."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            if not any(isinstance(t, ast.Name) and t.id == "EVENT_TYPES"
+                       for t in targets):
+                continue
+            value = node.value
+            names: set[str] = set()
+            if isinstance(value, ast.Dict):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) \
+                            and isinstance(key.value, str):
+                        names.add(key.value)
+                    elif isinstance(key, ast.Attribute):
+                        names.add(key.attr)
+                    elif isinstance(key, ast.Name):
+                        names.add(key.id)
+                return names, node
+            if isinstance(value, ast.DictComp) and value.generators:
+                source = value.generators[0].iter
+                elements = (source.elts
+                            if isinstance(source, (ast.Tuple, ast.List))
+                            else [])
+                for element in elements:
+                    if isinstance(element, ast.Attribute):
+                        names.add(element.attr)
+                    elif isinstance(element, ast.Name):
+                        names.add(element.id)
+                return names, node
+        return None
 
 
 DEFAULT_RULES: tuple[Rule, ...] = (
-    NoGlobalRng(), NoWallClock(), ShmLifecycle(), NoSilentExcept(),
-    FrozenRecords(), EventExhaustiveness(), NoUnpicklableSubmit(),
-    UnboundedQueue(), SeedThreading(),
+    NoGlobalRng(), NoWallClock(), ShmLeakPath(), NoSilentExcept(),
+    FrozenRecords(), EventExhaustiveness(), ProtocolDrift(),
+    NoUnpicklableSubmit(), UnboundedQueue(), RngTaint(),
+    ObsPickleBoundary(), JournalOrder(),
 )

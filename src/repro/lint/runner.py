@@ -7,15 +7,23 @@ repository's uniform exit codes:
 
 * ``0`` — no active findings;
 * ``1`` — at least one active finding (the build should fail);
-* ``2`` — usage/validation error (unknown path, unparsable file,
-  malformed baseline), raised as :class:`LintUsageError` so
-  ``repro.cli.main`` maps it like every other ``ValueError``.
+* ``2`` — usage/validation error (unknown path, malformed baseline,
+  raised as :class:`LintUsageError`) **or** an unparsable checked file —
+  the latter is also reported as an unwaivable ``syntax-error`` finding
+  so it shows up in ``--json`` artifacts instead of vanishing from the
+  walk.
+
+``--changed`` scopes the run to the files git reports as modified
+(versus ``HEAD`` or a given base ref) plus untracked files, so the gate
+runs in seconds pre-commit while CI keeps the full-tree run.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 import sys
+from collections import Counter
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,12 +34,14 @@ from .findings import Finding, Rule
 from .project import LintUsageError, load_project
 from .rules import DEFAULT_RULES
 
-__all__ = ["LintResult", "lint_command", "run_lint"]
+__all__ = ["LintResult", "changed_files", "lint_command", "run_lint"]
 
 #: what a bare ``repro lint`` scans, relative to the root
 DEFAULT_PATHS = ("src", "tests")
 #: the committed grandfather file, relative to the root
 BASELINE_NAME = "lint-baseline.json"
+#: pseudo-rule id for unparsable checked files (unwaivable, exit 2)
+SYNTAX_RULE = "syntax-error"
 
 
 @dataclass
@@ -42,10 +52,12 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     #: findings absorbed by baseline entries
     waived: list[Finding] = field(default_factory=list)
-    #: baseline entries that matched nothing (should be pruned)
+    #: baseline entries with unconsumed budget (should be tightened)
     stale_entries: list[BaselineEntry] = field(default_factory=list)
     #: number of files parsed
     files: int = 0
+    #: number of checked files the parser rejected
+    syntax_errors: int = 0
 
     @property
     def ok(self) -> bool:
@@ -61,20 +73,49 @@ def run_lint(paths: Sequence[Path | str], root: Path | str | None = None,
     baseline entries are keyed on; it defaults to the current working
     directory.  Inline ``# repro: allow[rule-id]`` suppressions are
     honored inside the rules themselves; the ``baseline`` (if given)
-    then absorbs grandfathered findings.
+    then absorbs grandfathered findings.  A checked file that fails to
+    parse becomes an unwaivable ``syntax-error`` finding — never a
+    silent skip.
     """
     root = Path(root) if root is not None else Path.cwd()
     project = load_project([Path(p) for p in paths], root)
-    findings: list[Finding] = []
+    findings: list[Finding] = [
+        Finding(path=failure.relpath, line=failure.line, rule=SYNTAX_RULE,
+                message=f"cannot parse file: {failure.message}; the rules "
+                        "did not run on it", waivable=False)
+        for failure in project.failures]
     for rule in rules:
         findings.extend(rule.check(project))
     findings.sort()
-    result = LintResult(files=len(project.modules))
+    result = LintResult(files=len(project.modules),
+                        syntax_errors=len(project.failures))
     if baseline is None:
         baseline = Baseline(entries=[])
     result.findings, result.waived, result.stale_entries = (
         baseline.apply(findings))
     return result
+
+
+def changed_files(root: Path, base: str = "HEAD") -> list[Path]:
+    """Python files git reports as changed versus ``base``, plus
+    untracked ones — the ``--changed`` scope."""
+    commands = (["git", "diff", "--name-only", "-z", base, "--"],
+                ["git", "ls-files", "--others", "--exclude-standard", "-z"])
+    names: set[str] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(command, cwd=root, capture_output=True,
+                                  text=True, check=True)
+        except (OSError, subprocess.CalledProcessError) as error:
+            detail = (error.stderr.strip()
+                      if isinstance(error, subprocess.CalledProcessError)
+                      and error.stderr else str(error))
+            raise LintUsageError(
+                f"--changed needs a git checkout at {root}: "
+                f"{detail}") from error
+        names.update(part for part in proc.stdout.split("\0") if part)
+    return sorted(root / name for name in names
+                  if name.endswith(".py") and (root / name).is_file())
 
 
 def lint_command(paths: Sequence[str] = (), *,
@@ -83,6 +124,7 @@ def lint_command(paths: Sequence[str] = (), *,
                  update_baseline: bool = False,
                  list_rules: bool = False,
                  json_output: bool = False,
+                 changed: str | None = None,
                  rules: Sequence[Rule] = DEFAULT_RULES,
                  stdout: TextIO | None = None) -> int:
     """The ``repro lint`` subcommand body; returns the exit code."""
@@ -92,8 +134,19 @@ def lint_command(paths: Sequence[str] = (), *,
             print(f"{rule.rule_id:24s} {rule.summary}", file=out)
         return 0
     root = Path(root) if root is not None else Path.cwd()
-    scan = ([Path(p) for p in paths] if paths
-            else [root / p for p in DEFAULT_PATHS if (root / p).exists()])
+    if changed is not None:
+        if paths:
+            raise LintUsageError(
+                "--changed computes the file list from git; explicit "
+                "paths cannot be combined with it")
+        scan: list[Path] = changed_files(root, changed)
+        if not scan:
+            print(f"no python files changed vs {changed}: OK", file=out)
+            return 0
+    else:
+        scan = ([Path(p) for p in paths] if paths
+                else [root / p for p in DEFAULT_PATHS
+                      if (root / p).exists()])
     if not scan:
         raise LintUsageError(
             f"nothing to lint: no paths given and {root} contains none of "
@@ -108,12 +161,15 @@ def lint_command(paths: Sequence[str] = (), *,
         unwaivable = [f for f in result.findings if not f.waivable]
         for finding in unwaivable:
             print(finding.render(), file=out)
+        if result.syntax_errors:
+            return 2
         return 1 if unwaivable else 0
     result = run_lint(scan, root=root, rules=rules,
                       baseline=load_baseline(baseline_path))
     if json_output:
         payload = {
             "files": result.files,
+            "syntax_errors": result.syntax_errors,
             "findings": [f.to_dict() for f in result.findings],
             "waived": len(result.waived),
             "stale_baseline_entries": [
@@ -121,19 +177,27 @@ def lint_command(paths: Sequence[str] = (), *,
                 for e in result.stale_entries],
         }
         print(json.dumps(payload, indent=2), file=out)
-        return 0 if result.ok else 1
+        return _exit_code(result)
     for finding in result.findings:
         print(finding.render(), file=out)
+    used = Counter((f.rule, f.path) for f in result.waived)
     for entry in result.stale_entries:
-        print(f"note: stale baseline entry matches nothing and should be "
-              f"pruned: {entry.rule} in {entry.path} (x{entry.count})",
-              file=out)
+        matched = used[entry.key()]
+        print(f"note: stale baseline entry should be tightened: "
+              f"{entry.rule} in {entry.path} allows {entry.count} but "
+              f"matched {matched}", file=out)
     summary = (f"checked {result.files} files: "
                + ("OK" if result.ok
                   else f"{len(result.findings)} finding(s)"))
     if result.waived:
         summary += f" ({len(result.waived)} waived by baseline)"
     print(summary, file=out)
+    return _exit_code(result)
+
+
+def _exit_code(result: LintResult) -> int:
+    if result.syntax_errors:
+        return 2
     return 0 if result.ok else 1
 
 
@@ -157,6 +221,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="regenerate the baseline file waiving every "
                              "current finding, then exit")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="BASE",
+                        help="lint only python files git reports changed "
+                             "vs BASE (default HEAD) plus untracked ones")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     parser.add_argument("--json", action="store_true",
@@ -167,7 +235,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                             baseline=args.baseline,
                             update_baseline=args.write_baseline,
                             list_rules=args.list_rules,
-                            json_output=args.json)
+                            json_output=args.json,
+                            changed=args.changed)
     except LintUsageError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

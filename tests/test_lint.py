@@ -1,11 +1,13 @@
 """Tests for the `repro lint` AST invariant checker.
 
 Each rule gets one known-good and one known-bad snippet, checked in
-isolation against a synthetic tree; the cross-module
-event-exhaustiveness rule is additionally exercised against a copy of
-the *real* protocol modules (the acceptance scenario: a new event
-dataclass with no renderer branch must fail the gate).  A self-check
-pins the shipped tree to zero findings with an empty baseline.
+isolation against a synthetic tree; the cross-module/cross-layer rules
+(event-exhaustiveness, protocol-drift) are additionally exercised
+against a copy of the *real* protocol modules (the acceptance scenario:
+a new event dataclass with no wire entry or renderer branch must fail
+the gate).  A self-check pins the shipped tree to zero findings with an
+empty baseline.  Flow-rule path semantics (CFG, taint, dominance) live
+in ``tests/test_lint_flow.py``.
 """
 
 import io
@@ -18,8 +20,8 @@ from pathlib import Path
 from repro.lint import (Baseline, BaselineEntry, EventExhaustiveness,
                         FrozenRecords, LintUsageError, NoGlobalRng,
                         NoSilentExcept, NoUnpicklableSubmit, NoWallClock,
-                        SeedThreading, ShmLifecycle, UnboundedQueue,
-                        load_baseline, run_lint)
+                        ProtocolDrift, RngTaint, ShmLeakPath,
+                        UnboundedQueue, load_baseline, run_lint)
 from repro.lint.runner import lint_command
 from repro.lint.runner import main as lint_main
 
@@ -27,12 +29,14 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: the four modules the event-exhaustiveness contract spans
+#: the code modules the event protocol spans (events, wire codec, CLI
+#: renderer, engine relay, supervision layer)
 PROTOCOL_FILES = (
     "src/repro/api/events.py",
     "src/repro/cli.py",
     "src/repro/api/handle.py",
     "src/repro/core/resilience.py",
+    "src/repro/service/wire.py",
 )
 
 
@@ -175,9 +179,11 @@ def test_wall_clock_monotonic_banned_elsewhere_in_obs(tmp_path):
     assert rule_ids(findings) == ["no-wall-clock"]
 
 
-# -- shm-lifecycle ---------------------------------------------------------
+# -- shm-leak-path ---------------------------------------------------------
+# (path semantics — exceptional-edge leaks, guard kills — are covered in
+# tests/test_lint_flow.py; here: the rule's basic good/bad contract)
 
-def test_shm_bad_unowned_block(tmp_path):
+def test_shm_bad_returning_only_the_name_string(tmp_path):
     findings = lint_tree(tmp_path, {
         "src/a.py": """\
             from multiprocessing import shared_memory
@@ -186,8 +192,9 @@ def test_shm_bad_unowned_block(tmp_path):
                 shm = shared_memory.SharedMemory(create=True, size=64)
                 return shm.name
             """,
-    }, rules=[ShmLifecycle()])
-    assert rule_ids(findings) == ["shm-lifecycle"]
+    }, rules=[ShmLeakPath()])
+    # shm.name is a string — the block itself never escapes or closes
+    assert rule_ids(findings) == ["shm-leak-path"]
 
 
 def test_shm_good_try_finally_and_registration(tmp_path):
@@ -210,11 +217,13 @@ def test_shm_good_try_finally_and_registration(tmp_path):
                 owner.append(shm)
                 return shm
             """,
-    }, rules=[ShmLifecycle()])
+    }, rules=[ShmLeakPath()])
     assert findings == []
 
 
-def test_shm_good_inside_registry_class(tmp_path):
+def test_shm_good_immediate_registration_in_method(tmp_path):
+    # the old rule exempted SharedPlaneRegistry by class name; the flow
+    # rule needs no exemption — registration on every path is the proof
     findings = lint_tree(tmp_path, {
         "src/a.py": """\
             from multiprocessing import shared_memory
@@ -225,7 +234,7 @@ def test_shm_good_inside_registry_class(tmp_path):
                     self._owned.append(shm)
                     return shm
             """,
-    }, rules=[ShmLifecycle()])
+    }, rules=[ShmLeakPath()])
     assert findings == []
 
 
@@ -332,10 +341,15 @@ def test_event_exhaustiveness_real_tree_is_clean(tmp_path):
     assert findings == []
 
 
-def test_new_event_without_renderer_branch_fails(tmp_path):
+def test_new_event_without_consumers_fails_every_layer(tmp_path):
     """The acceptance scenario: add an event dataclass to api/events.py
-    with no cli.py isinstance branch — the gate must fail."""
+    with no wire.py EVENT_TYPES entry, no cli.py isinstance branch, and
+    no docs catalog row — the drift checker must report each layer."""
     copy_protocol_tree(tmp_path)
+    for doc in ("docs/api.md", "docs/static-analysis.md"):
+        dest = tmp_path / doc
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text((REPO_ROOT / doc).read_text(encoding="utf-8"))
     events = tmp_path / "src/repro/api/events.py"
     events.write_text(events.read_text(encoding="utf-8") + textwrap.dedent(
         '''
@@ -347,16 +361,38 @@ def test_new_event_without_renderer_branch_fails(tmp_path):
             plane: str = ""
         '''))
     findings = run_lint([tmp_path], root=tmp_path,
-                        rules=[EventExhaustiveness()]).findings
-    assert rule_ids(findings) == ["event-exhaustiveness"]
-    assert "PlaneEvicted" in findings[0].message
-    assert findings[0].waivable is False
-    # ...and the baseline can never absorb it
+                        rules=[ProtocolDrift()]).findings
+    assert rule_ids(findings) == ["protocol-drift"] * 3
+    assert all("PlaneEvicted" in f.message for f in findings)
+    layers = " ".join(f.message for f in findings)
+    assert "EVENT_TYPES" in layers
+    assert "isinstance" in layers
+    assert "docs/api.md" in layers
+    assert all(f.waivable is False for f in findings)
+    # ...and the baseline can never absorb them
     baseline = Baseline(entries=[BaselineEntry(
-        rule="event-exhaustiveness", path="src/repro/api/events.py",
+        rule="protocol-drift", path="src/repro/api/events.py",
         count=5)])
     active, waived, _ = baseline.apply(findings)
-    assert len(active) == 1 and waived == []
+    assert len(active) == 3 and waived == []
+
+
+def test_protocol_drift_clean_tree_and_stale_wire_entry(tmp_path):
+    copy_protocol_tree(tmp_path)
+    # without docs in the fixture tree the docs layers are skipped
+    findings = run_lint([tmp_path], root=tmp_path,
+                        rules=[ProtocolDrift()]).findings
+    assert findings == []
+    # reverse drift: the wire registers a ghost, and the event it
+    # displaced goes missing — both directions must be reported
+    wire = tmp_path / "src/repro/service/wire.py"
+    wire.write_text(wire.read_text(encoding="utf-8").replace(
+        "api_events.RunWarning", "api_events.GhostEvent"))
+    findings = run_lint([tmp_path], root=tmp_path,
+                        rules=[ProtocolDrift()]).findings
+    assert rule_ids(findings) == ["protocol-drift"] * 2
+    messages = " ".join(f.message for f in findings)
+    assert "GhostEvent" in messages and "RunWarning" in messages
 
 
 def test_engine_record_without_mirror_or_relay_fails(tmp_path):
@@ -434,9 +470,11 @@ def test_unpicklable_submit_good_module_level_and_callbacks(tmp_path):
     assert findings == []
 
 
-# -- seed-threading --------------------------------------------------------
+# -- rng-taint -------------------------------------------------------------
+# (taint-through-assignment and kill semantics are covered in
+# tests/test_lint_flow.py; here: the rule's basic good/bad contract)
 
-def test_seed_threading_bad_rng_param_shadowed(tmp_path):
+def test_rng_taint_bad_rng_param_ignored(tmp_path):
     findings = lint_tree(tmp_path, {
         "src/a.py": """\
             import numpy as np
@@ -445,11 +483,11 @@ def test_seed_threading_bad_rng_param_shadowed(tmp_path):
                 fresh = np.random.default_rng(0)
                 return fresh.normal(size=n)
             """,
-    }, rules=[SeedThreading()])
-    assert rule_ids(findings) == ["seed-threading"]
+    }, rules=[RngTaint()])
+    assert rule_ids(findings) == ["rng-taint"]
 
 
-def test_seed_threading_bad_seed_not_threaded(tmp_path):
+def test_rng_taint_bad_seed_not_threaded(tmp_path):
     findings = lint_tree(tmp_path, {
         "src/a.py": """\
             import numpy as np
@@ -457,11 +495,11 @@ def test_seed_threading_bad_seed_not_threaded(tmp_path):
             def load(seed):
                 return np.random.default_rng(12).normal()
             """,
-    }, rules=[SeedThreading()])
-    assert rule_ids(findings) == ["seed-threading"]
+    }, rules=[RngTaint()])
+    assert rule_ids(findings) == ["rng-taint"]
 
 
-def test_seed_threading_good_threaded_and_tests_exempt(tmp_path):
+def test_rng_taint_good_threaded_and_tests_exempt(tmp_path):
     findings = lint_tree(tmp_path, {
         "src/a.py": """\
             import numpy as np
@@ -478,7 +516,7 @@ def test_seed_threading_good_threaded_and_tests_exempt(tmp_path):
                 b = np.random.default_rng(1)
                 return a, b
             """,
-    }, rules=[SeedThreading()])
+    }, rules=[RngTaint()])
     assert findings == []
 
 
@@ -592,6 +630,53 @@ def test_baseline_reports_stale_entries(tmp_path):
     assert [e.path for e in result.stale_entries] == ["src/gone.py"]
 
 
+def test_baseline_count_decrease_is_reported_as_slack(tmp_path):
+    """An entry matching fewer findings than its count must be flagged
+    so the baseline gets tightened — otherwise the unused budget could
+    silently absorb a future regression."""
+    (tmp_path / "src").mkdir(parents=True)
+    (tmp_path / "src/a.py").write_text(
+        "import random\nx = random.random()\n")
+    baseline = Baseline(entries=[BaselineEntry(
+        rule="no-global-rng", path="src/a.py", count=3)])
+    result = run_lint([tmp_path], root=tmp_path, rules=[NoGlobalRng()],
+                      baseline=baseline)
+    assert result.ok and len(result.waived) == 1
+    assert [(e.rule, e.count) for e in result.stale_entries] == [
+        ("no-global-rng", 3)]
+    # the CLI note names the slack explicitly
+    out = io.StringIO()
+    path = tmp_path / "lint-baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": [
+        {"rule": "no-global-rng", "path": "src/a.py", "count": 3}]}))
+    assert lint_command([], root=tmp_path, stdout=out) == 0
+    assert "allows 3 but matched 1" in out.getvalue()
+
+
+def test_write_baseline_is_idempotent_and_tightens(tmp_path):
+    """Regenerating twice produces byte-identical output, and after a
+    violation is fixed the regenerated file drops the slack."""
+    (tmp_path / "src").mkdir(parents=True)
+    (tmp_path / "src/a.py").write_text(
+        "import random\nx = random.random()\ny = random.random()\n")
+    base = tmp_path / "lint-baseline.json"
+    assert lint_command([], root=tmp_path, update_baseline=True,
+                        stdout=io.StringIO()) == 0
+    first = base.read_text(encoding="utf-8")
+    assert json.loads(first)["entries"] == [
+        {"rule": "no-global-rng", "path": "src/a.py", "count": 2}]
+    assert lint_command([], root=tmp_path, update_baseline=True,
+                        stdout=io.StringIO()) == 0
+    assert base.read_text(encoding="utf-8") == first
+    # burn one violation down: the count must decrease, not linger
+    (tmp_path / "src/a.py").write_text(
+        "import random\nx = random.random()\n")
+    assert lint_command([], root=tmp_path, update_baseline=True,
+                        stdout=io.StringIO()) == 0
+    assert json.loads(base.read_text(encoding="utf-8"))["entries"] == [
+        {"rule": "no-global-rng", "path": "src/a.py", "count": 1}]
+
+
 def test_load_baseline_missing_is_empty_and_malformed_raises(tmp_path):
     assert load_baseline(tmp_path / "absent.json").entries == []
     bad = tmp_path / "bad.json"
@@ -630,9 +715,32 @@ def test_cli_exit_two_on_missing_path(tmp_path, capsys):
 
 
 def test_cli_exit_two_on_unparsable_file(tmp_path, capsys):
+    """A SyntaxError in a checked file is a *finding* plus exit 2 —
+    never a silent skip of the file."""
     broken = tmp_path / "broken.py"
     broken.write_text("def oops(:\n")
     assert lint_main([str(broken), "--root", str(tmp_path)]) == 2
+    out = capsys.readouterr().out
+    assert "broken.py:1: [syntax-error]" in out
+
+
+def test_unparsable_file_beside_healthy_ones_still_checked(tmp_path):
+    """Other files still get the full rule pass; the broken one is
+    reported, unwaivable, and forces exit 2 over exit 1."""
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src/bad.py").write_text(
+        "import random\nx = random.random()\n")
+    (tmp_path / "src/broken.py").write_text("def oops(:\n")
+    out = io.StringIO()
+    code = lint_command([], root=tmp_path, stdout=out)
+    assert code == 2
+    text = out.getvalue()
+    assert "[syntax-error]" in text and "[no-global-rng]" in text
+    # the baseline cannot absorb a syntax error
+    result = run_lint([tmp_path / "src"], root=tmp_path,
+                      baseline=Baseline(entries=[BaselineEntry(
+                          rule="syntax-error", path="src/broken.py")]))
+    assert "syntax-error" in rule_ids(result.findings)
 
 
 def test_cli_exit_two_on_malformed_baseline(tmp_path, capsys):
@@ -648,10 +756,11 @@ def test_cli_list_rules_prints_catalog():
     out = io.StringIO()
     assert lint_command([], list_rules=True, stdout=out) == 0
     text = out.getvalue()
-    for rule_id in ("no-global-rng", "no-wall-clock", "shm-lifecycle",
+    for rule_id in ("no-global-rng", "no-wall-clock", "shm-leak-path",
                     "no-silent-except", "frozen-records",
-                    "event-exhaustiveness", "no-unpicklable-submit",
-                    "no-unbounded-queue", "seed-threading"):
+                    "event-exhaustiveness", "protocol-drift",
+                    "no-unpicklable-submit", "no-unbounded-queue",
+                    "rng-taint", "obs-pickle-boundary", "journal-order"):
         assert rule_id in text
 
 
@@ -683,12 +792,54 @@ def test_cli_write_baseline_then_clean(tmp_path):
     assert lint_command([], root=tmp_path, stdout=io.StringIO()) == 0
 
 
+def _git(tmp_path, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+        cwd=tmp_path, check=True, capture_output=True)
+
+
+def test_changed_scope_lints_only_modified_files(tmp_path):
+    """--changed lints git-modified + untracked python files only; the
+    violation in the untouched file stays out of scope."""
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src/old.py").write_text(
+        "import random\nx = random.random()\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "seed")
+    out = io.StringIO()
+    assert lint_command([], root=tmp_path, changed="HEAD", stdout=out) == 0
+    assert "no python files changed" in out.getvalue()
+    # an untracked bad file enters the scope; old.py stays outside it
+    (tmp_path / "src/new.py").write_text(
+        "import random\ny = random.random()\n")
+    out = io.StringIO()
+    assert lint_command([], root=tmp_path, changed="HEAD", stdout=out) == 1
+    text = out.getvalue()
+    assert "src/new.py" in text and "old.py" not in text
+    # a tracked modification enters too
+    (tmp_path / "src/old.py").write_text(
+        "import random\nx = random.random()\nz = random.random()\n")
+    out = io.StringIO()
+    assert lint_command([], root=tmp_path, changed="HEAD", stdout=out) == 1
+    assert "src/old.py" in out.getvalue()
+
+
+def test_changed_rejects_explicit_paths_and_non_git_roots(tmp_path):
+    with pytest.raises(LintUsageError, match="cannot be combined"):
+        lint_command(["src"], root=tmp_path, changed="HEAD",
+                     stdout=io.StringIO())
+    with pytest.raises(LintUsageError, match="git"):
+        lint_command([], root=tmp_path, changed="HEAD",
+                     stdout=io.StringIO())
+
+
 def test_repro_cli_subcommand_wiring(capsys):
     """`repro lint` must work without touching the experiment registry."""
     from repro.cli import main as cli_main
 
     assert cli_main(["lint", "--list-rules"]) == 0
-    assert "seed-threading" in capsys.readouterr().out
+    assert "rng-taint" in capsys.readouterr().out
     # LintUsageError maps to the repo-wide validation exit code
     assert cli_main(["lint", "definitely-not-here.py"]) == 2
 
